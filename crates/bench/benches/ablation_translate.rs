@@ -1,0 +1,54 @@
+//! Experiment TXT-TRANSLATE: the accumulate-vs-translate ablation.
+//!
+//! Paper §3: "Alternative functions that translate the input values into
+//! state values rather than accumulate the input values into state values
+//! would result in worse performance." The [`Translated`] wrapper reroutes
+//! `accum` through `ident` + `combine`; this bench measures the gap for a
+//! scalar operator (sum — small gap) and a structured one (mink — large
+//! gap, since a translate costs O(k) per element).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gv_core::ops::builtin::sum;
+use gv_core::ops::mink::MinK;
+use gv_core::ops::translate::Translated;
+use gv_core::seq;
+
+fn bench_translate(c: &mut Criterion) {
+    let n = 50_000usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 1_000_003).collect();
+
+    let mut group = c.benchmark_group("translate/sum");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("accumulate", |b| {
+        b.iter(|| seq::reduce(&sum::<i64>(), black_box(&data)))
+    });
+    group.bench_function("translate", |b| {
+        b.iter(|| seq::reduce(&Translated(sum::<i64>()), black_box(&data)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("translate/mink");
+    group.throughput(Throughput::Elements(n as u64));
+    for &k in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("accumulate", k), &k, |b, &k| {
+            b.iter(|| seq::reduce(&MinK::<i64>::new(k), black_box(&data)))
+        });
+        group.bench_with_input(BenchmarkId::new("translate", k), &k, |b, &k| {
+            b.iter(|| seq::reduce(&Translated(MinK::<i64>::new(k)), black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_translate
+}
+criterion_main!(benches);

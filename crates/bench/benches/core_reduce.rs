@@ -1,0 +1,80 @@
+//! BENCH-CORE (reductions): wall-clock throughput of the built-in and
+//! user-defined operators through the sequential and shared-memory
+//! engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gv_core::ops::builtin::sum;
+use gv_core::ops::mink::MinK;
+use gv_core::ops::sorted::Sorted;
+use gv_core::ops::stats::MeanVar;
+use gv_core::ops::topk::TopBottomK;
+use gv_core::{par, seq};
+use gv_executor::Pool;
+
+fn data_i64(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| (i * 2654435761) % 1_000_003).collect()
+}
+
+fn bench_builtin_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce/sum_i64");
+    for &n in &[1_000usize, 100_000] {
+        let data = data_i64(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("seq", n), &data, |b, d| {
+            b.iter(|| seq::reduce(&sum::<i64>(), black_box(d)))
+        });
+        let pool = Pool::with_default_parallelism();
+        group.bench_with_input(BenchmarkId::new("par_8chunks", n), &data, |b, d| {
+            b.iter(|| par::reduce(&pool, 8, &sum::<i64>(), black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_user_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce/user_ops");
+    let n = 100_000usize;
+    let data = data_i64(n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("mink_k10", |b| {
+        b.iter(|| seq::reduce(&MinK::<i64>::new(10), black_box(&data)))
+    });
+    group.bench_function("sorted", |b| {
+        b.iter(|| seq::reduce(&Sorted::<i64>::new(), black_box(&data)))
+    });
+    let floats: Vec<f64> = data.iter().map(|&x| x as f64 / 7.0).collect();
+    group.bench_function("meanvar", |b| {
+        b.iter(|| seq::reduce(&MeanVar, black_box(&floats)))
+    });
+    let pairs: Vec<(f64, u64)> = floats.iter().copied().zip(0u64..).collect();
+    group.bench_function("top_bottom_k10", |b| {
+        b.iter(|| seq::reduce(&TopBottomK::<f64, u64>::new(10), black_box(&pairs)))
+    });
+    group.finish();
+}
+
+fn bench_mink_k_sweep(c: &mut Criterion) {
+    // The combine cost grows with k while accumulate stays ~O(1) amortized
+    // — the asymmetry §3 calls out.
+    let mut group = c.benchmark_group("reduce/mink_k_sweep");
+    let data = data_i64(50_000);
+    for &k in &[1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| seq::reduce(&MinK::<i64>::new(k), black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_builtin_sum, bench_user_ops, bench_mink_k_sweep
+}
+criterion_main!(benches);

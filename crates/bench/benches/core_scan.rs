@@ -1,0 +1,57 @@
+//! BENCH-CORE (scans): wall-clock throughput of inclusive and exclusive
+//! scans through the sequential and shared-memory engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gv_core::op::ScanKind;
+use gv_core::ops::builtin::{max, sum};
+use gv_core::ops::counts::BucketRank;
+use gv_core::{par, seq};
+use gv_executor::Pool;
+
+fn bench_sum_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/sum_i64");
+    for &n in &[1_000usize, 100_000] {
+        let data: Vec<i64> = (0..n as i64).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("seq_{kind:?}"), n),
+                &data,
+                |b, d| b.iter(|| seq::scan(&sum::<i64>(), black_box(d), kind)),
+            );
+        }
+        let pool = Pool::with_default_parallelism();
+        group.bench_with_input(BenchmarkId::new("par_8chunks_incl", n), &data, |b, d| {
+            b.iter(|| par::scan(&pool, 8, &sum::<i64>(), black_box(d), ScanKind::Inclusive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_running_max_and_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/user");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65_537).collect();
+    group.bench_function("running_max", |b| {
+        b.iter(|| seq::scan(&max::<i64>(), black_box(&data), ScanKind::Inclusive))
+    });
+    let buckets: Vec<usize> = data.iter().map(|&x| (x % 8) as usize).collect();
+    group.bench_function("bucket_ranking", |b| {
+        b.iter(|| seq::scan(&BucketRank::new(8), black_box(&buckets), ScanKind::Inclusive))
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_sum_scan, bench_running_max_and_ranking
+}
+criterion_main!(benches);

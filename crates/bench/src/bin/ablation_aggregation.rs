@@ -1,0 +1,72 @@
+//! Experiment TXT-AGG: aggregation (paper §2.1).
+//!
+//! "It allows the programmer to compute multiple reductions
+//! simultaneously, thus saving the overhead of many smaller messages."
+//!
+//! Sweeps the number of simultaneous reductions `m` and reports modeled
+//! time and wire messages for `m` separate allreduces vs one aggregated
+//! allreduce of an `m`-slot vector.
+//!
+//! Usage: ablation_aggregation [--procs 16] [--csv]
+
+use gv_bench::table::{arg_value, has_flag, parallel_time, timed_phase};
+use gv_core::ops::builtin::min;
+use gv_msgpass::Runtime;
+
+fn measure(p: usize, m: usize, aggregated: bool) -> (f64, u64) {
+    let outcome = Runtime::new(p).run(move |comm| {
+        let values: Vec<i64> = (0..m)
+            .map(|j| ((comm.rank() + 1) * (j + 3)) as i64 % 101)
+            .collect();
+        let (_, dt) = timed_phase(comm, |c| {
+            if aggregated {
+                let rows: Vec<&[i64]> = vec![&values];
+                gv_rsmpi::reduce_all_elementwise(c, &min::<i64>(), &rows);
+            } else {
+                for &v in &values {
+                    gv_rsmpi::reduce_all(c, &min::<i64>(), &[v]);
+                }
+            }
+        });
+        dt
+    });
+    (parallel_time(&outcome.results), outcome.stats.messages)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+    let p: usize = arg_value(&args, "--procs")
+        .map(|s| s.parse().expect("bad --procs"))
+        .unwrap_or(16);
+
+    if csv {
+        println!("m,separate_seconds,separate_msgs,aggregated_seconds,aggregated_msgs,speedup");
+    } else {
+        println!("TXT-AGG — m separate allreduces vs one aggregated allreduce, p = {p}\n");
+        println!(
+            "  {:>5} | {:>14} {:>8} | {:>14} {:>8} | {:>7}",
+            "m", "separate", "msgs", "aggregated", "msgs", "speedup"
+        );
+    }
+    for m in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let (t_sep, m_sep) = measure(p, m, false);
+        let (t_agg, m_agg) = measure(p, m, true);
+        if csv {
+            println!(
+                "{m},{t_sep:.9},{m_sep},{t_agg:.9},{m_agg},{:.3}",
+                t_sep / t_agg
+            );
+        } else {
+            println!(
+                "  {:>5} | {:>11.1} µs {:>8} | {:>11.1} µs {:>8} | {:>6.2}×",
+                m,
+                t_sep * 1e6,
+                m_sep,
+                t_agg * 1e6,
+                m_agg,
+                t_sep / t_agg
+            );
+        }
+    }
+}

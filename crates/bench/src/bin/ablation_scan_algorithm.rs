@@ -1,0 +1,57 @@
+//! Experiment TXT-PREFIX: the parallel-prefix foundation.
+//!
+//! Paper §1: "scans are efficiently implemented by the parallel-prefix
+//! algorithm [Ladner & Fischer]". This harness compares the runtime's
+//! log-round shifted recursive-doubling scan against the naive linear
+//! chain, sweeping the rank count — the O(log p) vs O(p) separation every
+//! other result in the paper stands on.
+//!
+//! Usage: ablation_scan_algorithm [--procs 2,4,8,...] [--csv]
+
+use gv_bench::table::{has_flag, parse_procs, parallel_time, timed_phase};
+use gv_msgpass::Runtime;
+
+fn measure(p: usize, linear: bool) -> f64 {
+    let outcome = Runtime::new(p).run(move |comm| {
+        let (_, dt) = timed_phase(comm, |c| {
+            if linear {
+                c.scan_inclusive_linear(c.rank() as u64 + 1, |_| 8, |a, b| a + b)
+            } else {
+                c.scan_inclusive(c.rank() as u64 + 1, |_| 8, |a, b| a + b)
+            }
+        });
+        dt
+    });
+    parallel_time(&outcome.results)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+    let procs = parse_procs(&args);
+
+    if csv {
+        println!("procs,parallel_prefix_seconds,linear_chain_seconds,speedup");
+    } else {
+        println!("TXT-PREFIX — parallel-prefix scan vs linear chain (modeled time)\n");
+        println!(
+            "  {:>5} | {:>16} | {:>16} | {:>8}",
+            "p", "parallel prefix", "linear chain", "speedup"
+        );
+    }
+    for &p in &procs {
+        let t_prefix = measure(p, false);
+        let t_linear = measure(p, true);
+        if csv {
+            println!("{p},{t_prefix:.9},{t_linear:.9},{:.3}", t_linear / t_prefix);
+        } else {
+            println!(
+                "  {:>5} | {:>13.1} µs | {:>13.1} µs | {:>7.2}×",
+                p,
+                t_prefix * 1e6,
+                t_linear * 1e6,
+                t_linear / t_prefix
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Full NAS IS run: key generation → distributed ranking → verification,
+//! with per-phase modeled timing — the benchmark the paper's §4.1 case
+//! study lives inside.
+//!
+//! Usage: nas_is [--class S|W|A|B|C|A/32|B/32|C/32] [--procs 8] [--variant rsmpi|nas|opt]
+
+use gv_bench::table::{arg_value, fmt_seconds, parallel_time, timed_phase};
+use gv_msgpass::Runtime;
+use gv_nas::is::{distributed_sort, generate_keys, key_ranks, VerifyVariant};
+use gv_nas::IsClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let class = IsClass::by_name(&arg_value(&args, "--class").unwrap_or_else(|| "W".into()))
+        .expect("unknown IS class");
+    let p: usize = arg_value(&args, "--procs")
+        .map(|s| s.parse().expect("bad --procs"))
+        .unwrap_or(8);
+    let variant = match arg_value(&args, "--variant").as_deref() {
+        None | Some("rsmpi") => VerifyVariant::Rsmpi,
+        Some("nas") => VerifyVariant::NasMpi,
+        Some("opt") => VerifyVariant::MpiScalarOpt,
+        Some(other) => panic!("unknown variant {other} (rsmpi|nas|opt)"),
+    };
+
+    println!(
+        "NAS IS class {} — {} keys in 0..2^{}, {p} ranks, verifier {:?}\n",
+        class.name,
+        class.total_keys(),
+        class.max_key_log2,
+        variant
+    );
+
+    let outcome = Runtime::new(p).run(move |comm| {
+        let (keys, t_gen) = timed_phase(comm, |c| {
+            let keys = generate_keys(class, c.rank(), c.size());
+            // 4 randlc variates per key at ~10 ops each.
+            c.advance(keys.len() as u64 * 40);
+            keys
+        });
+        let (block, t_rank) = timed_phase(comm, |c| distributed_sort(c, &keys, class.max_key()));
+        let (ranks, t_ranks) = timed_phase(comm, |c| {
+            let ranks = key_ranks(&block);
+            c.advance(ranks.len() as u64);
+            ranks
+        });
+        let (ok, t_verify) = timed_phase(comm, |c| variant.verify(c, &block.keys));
+        let rank_checks = ranks.windows(2).all(|w| w[1] == w[0] + 1);
+        (ok && rank_checks, block.keys.len(), [t_gen, t_rank, t_ranks, t_verify])
+    });
+
+    let verified = outcome.results.iter().all(|(ok, _, _)| *ok);
+    let total: usize = outcome.results.iter().map(|(_, n, _)| n).sum();
+    for (name, i) in [("keygen", 0), ("ranking", 1), ("rank ids", 2), ("verify", 3)] {
+        let times: Vec<f64> = outcome.results.iter().map(|(_, _, t)| t[i]).collect();
+        println!("  {name:<9} {:>12}", fmt_seconds(parallel_time(&times)));
+    }
+    println!("\n  keys ranked: {total}");
+    println!("  wire messages: {}, bytes: {}", outcome.stats.messages, outcome.stats.bytes);
+    println!("  VERIFICATION {}", if verified { "SUCCESSFUL" } else { "FAILED" });
+    assert!(verified);
+}

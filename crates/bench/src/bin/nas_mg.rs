@@ -1,0 +1,72 @@
+//! Full NAS MG run: ZRAN3 initialization followed by the class's V-cycle
+//! iterations, printing the residual norms per iteration — the benchmark
+//! the paper's §4.2 case study lives inside.
+//!
+//! Usage: nas_mg [--class S|W|A/8|B/8|C/8] [--procs 4] [--variant rsmpi|mpi]
+
+use gv_bench::table::{arg_value, fmt_seconds, parallel_time, timed_phase};
+use gv_msgpass::Runtime;
+use gv_nas::mg::vcycle::v_cycle;
+use gv_nas::mg::zran3::{zran3, Zran3Variant};
+use gv_nas::mg::Slab;
+use gv_nas::MgClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let class = MgClass::by_name(&arg_value(&args, "--class").unwrap_or_else(|| "S".into()))
+        .expect("unknown MG class");
+    let p: usize = arg_value(&args, "--procs")
+        .map(|s| s.parse().expect("bad --procs"))
+        .unwrap_or(4);
+    let variant = match arg_value(&args, "--variant").as_deref() {
+        None | Some("rsmpi") => Zran3Variant::Rsmpi,
+        Some("mpi") => Zran3Variant::Mpi,
+        Some(other) => panic!("unknown variant {other} (rsmpi|mpi)"),
+    };
+    assert!(
+        class.n >= 2 * p,
+        "class {} needs p ≤ {} (one V-cycle plane pair per rank)",
+        class.name,
+        class.n / 2
+    );
+
+    println!(
+        "NAS MG class {} — {}³ grid, {} iterations, {p} ranks, zran3 variant {:?}\n",
+        class.name, class.n, class.iterations, variant
+    );
+
+    let iterations = class.iterations;
+    let outcome = Runtime::new(p).run(move |comm| {
+        let mut v = Slab::for_rank(class.n, comm.rank(), comm.size());
+        let (_, t_zran3) = timed_phase(comm, |c| zran3(c, &mut v, 10, variant));
+        let mut u = Slab::for_rank(class.n, comm.rank(), comm.size());
+        let mut r = v.clone();
+        let mut norms = Vec::with_capacity(iterations);
+        let (_, t_cycles) = timed_phase(comm, |c| {
+            for _ in 0..iterations {
+                norms.push(v_cycle(c, &mut u, &v, &mut r));
+            }
+        });
+        (norms, t_zran3, t_cycles)
+    });
+
+    let (norms, _, _) = &outcome.results[0];
+    println!("  iter   L2 residual      max residual");
+    for (i, (l2, max)) in norms.iter().enumerate() {
+        println!("  {:>4}   {l2:.9e}   {max:.9e}", i + 1);
+    }
+    let zran3_times: Vec<f64> = outcome.results.iter().map(|(_, t, _)| *t).collect();
+    let cycle_times: Vec<f64> = outcome.results.iter().map(|(_, _, t)| *t).collect();
+    println!("\n  zran3    {:>12}", fmt_seconds(parallel_time(&zran3_times)));
+    println!("  V-cycles {:>12}", fmt_seconds(parallel_time(&cycle_times)));
+    println!(
+        "  wire messages: {}, bytes: {}",
+        outcome.stats.messages, outcome.stats.bytes
+    );
+    let converged = norms.windows(2).all(|w| w[1].0 < w[0].0);
+    println!(
+        "  residual monotonically decreasing: {}",
+        if converged { "yes" } else { "NO" }
+    );
+    assert!(converged);
+}

@@ -1,0 +1,22 @@
+//! # gv-bench — the paper's evaluation, regenerated
+//!
+//! Binaries (modeled-time harnesses; deterministic output):
+//!
+//! * `fig2_is_verify` — Figure 2: NAS IS verification-phase speedup,
+//!   C+MPI vs scalar-optimized C+MPI vs C+RSMPI, per class and rank count.
+//! * `fig3_mg_zran3` — Figure 3: NAS MG ZRAN3 speedup, F+MPI (forty
+//!   reductions) vs F+RSMPI (one user-defined reduction).
+//! * `mpi_call_stats` — experiment TXT-NPB: share of communication calls
+//!   that are reductions/scans across the NAS kernels.
+//! * `ablation_commutative` — experiment TXT-COMM: commutative vs
+//!   non-commutative combining across branching factors.
+//! * `ablation_aggregation` — experiment TXT-AGG: one aggregated
+//!   reduction vs many separate ones.
+//!
+//! Criterion benches (wall-clock, single host): `core_reduce`,
+//! `core_scan`, `ablation_translate`.
+//!
+//! See EXPERIMENTS.md for the recorded outputs and the comparison against
+//! the paper's reported results.
+
+pub mod table;

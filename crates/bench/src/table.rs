@@ -1,0 +1,93 @@
+//! Small helpers shared by the figure harnesses: phase timing inside the
+//! SPMD runtime, and fixed-width table/CSV output.
+
+use gv_msgpass::Comm;
+
+/// Runs `phase` between two barriers and returns the modeled elapsed time
+/// of this rank for the phase (the harness takes the max over ranks —
+/// that is the parallel time of the phase).
+pub fn timed_phase<R>(comm: &Comm, phase: impl FnOnce(&Comm) -> R) -> (R, f64) {
+    comm.barrier();
+    let start = comm.now();
+    let result = phase(comm);
+    comm.barrier();
+    (result, comm.now() - start)
+}
+
+/// Maximum of per-rank phase times — the modeled parallel time.
+pub fn parallel_time(per_rank: &[f64]) -> f64 {
+    per_rank.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Formats seconds with engineering-friendly units.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// Parses a `--flag value` style argument list: returns the value after
+/// `name`, if present.
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare flag is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses a comma-separated list of rank counts (default `1,2,4,…,64`).
+pub fn parse_procs(args: &[String]) -> Vec<usize> {
+    match arg_value(args, "--procs") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --procs entry"))
+            .collect(),
+        None => vec![1, 2, 4, 8, 16, 32, 64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--procs", "1,2, 4", "--csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_procs(&args), vec![1, 2, 4]);
+        assert!(has_flag(&args, "--csv"));
+        assert!(!has_flag(&args, "--json"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.500 µs");
+    }
+
+    #[test]
+    fn timed_phase_measures_only_the_phase() {
+        let outcome = gv_msgpass::Runtime::new(3).run(|comm| {
+            comm.advance(5_000_000); // untimed prelude, 5 ms at default γ
+            let ((), dt) = timed_phase(comm, |c| c.advance(1_000_000));
+            dt
+        });
+        let t = parallel_time(&outcome.results);
+        // 1 ms of phase compute (plus barrier latencies ≪ 1 ms); the 5 ms
+        // prelude must not leak in — but the barrier synchronizes ranks,
+        // so dt is ~1 ms, well under the 5 ms prelude.
+        assert!((1.0e-3..2.0e-3).contains(&t), "t={t}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Aggregation: many reductions/scans computed simultaneously (paper §2.1).
+//!
+//! "Aggregation … allows the programmer to compute multiple reductions
+//! simultaneously, thus saving the overhead of many smaller messages."
+//!
+//! The data model is a sequence of *rows*, each row holding one input
+//! element per *slot* (the same slot count in every row). Slot `j` across
+//! all rows forms an independent ordered set; an aggregated reduction
+//! reduces every slot at once. The paper's example — the element-wise
+//! minimums of per-processor integer arrays — is `reduce_elementwise` with
+//! the `min` operator; the paper also notes the aggregation of *user*
+//! operators ("the mink reduction can itself be aggregated"), which works
+//! here unchanged because the functions are applied per slot.
+//!
+//! In this crate the benefit is expressed purely as data layout; the
+//! message-batching benefit the paper measures lives in the message-passing
+//! layer (`gv_rsmpi::agg`), which ships all slot states in one message.
+
+use crate::op::{ReduceScanOp, ScanKind};
+
+/// Asserts all rows have the same width and returns it (0 when `rows` is
+/// empty).
+fn row_width<T>(rows: &[&[T]]) -> usize {
+    let width = rows.first().map_or(0, |r| r.len());
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            width,
+            "aggregated rows must have equal widths (row {i} has {} slots, expected {width})",
+            row.len()
+        );
+    }
+    width
+}
+
+/// Accumulates all rows into one state per slot, applying the pre/post
+/// hooks on the first/last row exactly as `accumulate_block` does for a
+/// single reduction.
+pub fn accumulate_rows<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    states: &mut [Op::State],
+    rows: &[&[Op::In]],
+) {
+    let width = row_width(rows);
+    assert_eq!(
+        states.len(),
+        width,
+        "state count must equal the row width"
+    );
+    let (Some(first), Some(last)) = (rows.first(), rows.last()) else {
+        return;
+    };
+    for (s, x) in states.iter_mut().zip(first.iter()) {
+        op.pre_accum(s, x);
+    }
+    for row in rows {
+        for (s, x) in states.iter_mut().zip(row.iter()) {
+            op.accum(s, x);
+        }
+    }
+    for (s, x) in states.iter_mut().zip(last.iter()) {
+        op.post_accum(s, x);
+    }
+}
+
+/// Element-wise aggregated reduction: reduces slot `j` of every row down to
+/// output `j`.
+pub fn reduce_elementwise<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    rows: &[&[Op::In]],
+) -> Vec<Op::Out> {
+    let width = row_width(rows);
+    let mut states: Vec<Op::State> = (0..width).map(|_| op.ident()).collect();
+    accumulate_rows(op, &mut states, rows);
+    states.into_iter().map(|s| op.red_gen(s)).collect()
+}
+
+/// Element-wise aggregated scan: output row `i`, slot `j` is the scan of
+/// slot `j` over rows `0..=i` (inclusive) or `0..i` (exclusive).
+pub fn scan_elementwise<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    rows: &[&[Op::In]],
+    kind: ScanKind,
+) -> Vec<Vec<Op::Out>> {
+    let width = row_width(rows);
+    let mut states: Vec<Op::State> = (0..width).map(|_| op.ident()).collect();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut out_row = Vec::with_capacity(width);
+        for (s, x) in states.iter_mut().zip(row.iter()) {
+            match kind {
+                ScanKind::Exclusive => {
+                    out_row.push(op.scan_gen(s, x));
+                    op.accum(s, x);
+                }
+                ScanKind::Inclusive => {
+                    op.accum(s, x);
+                    out_row.push(op.scan_gen(s, x));
+                }
+            }
+        }
+        out.push(out_row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{Monoid, MonoidOp};
+    use crate::seq;
+
+    struct Min;
+    impl Monoid for Min {
+        type T = i32;
+        fn identity(&self) -> i32 {
+            i32::MAX
+        }
+        fn combine(&self, a: &mut i32, b: &i32) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_min_matches_paper_description() {
+        // Paper §2.1: "the min reduction can be aggregated to compute the
+        // element-wise minimums of the values in arrays of integers."
+        let op = MonoidOp(Min);
+        let rows: Vec<&[i32]> = vec![&[5, 1, 9], &[3, 4, 2], &[8, 0, 7]];
+        assert_eq!(reduce_elementwise(&op, &rows), vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn aggregated_reduce_matches_per_slot_sequential() {
+        let op = MonoidOp(Min);
+        let data: Vec<Vec<i32>> = (0..6)
+            .map(|r| (0..4).map(|c| ((r * 7 + c * 13) % 19) - 9).collect())
+            .collect();
+        let rows: Vec<&[i32]> = data.iter().map(|r| r.as_slice()).collect();
+        let got = reduce_elementwise(&op, &rows);
+        for slot in 0..4 {
+            let column: Vec<i32> = data.iter().map(|r| r[slot]).collect();
+            assert_eq!(got[slot], seq::reduce(&op, &column), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn aggregated_scan_matches_per_slot_sequential() {
+        let op = MonoidOp(Min);
+        let data: Vec<Vec<i32>> = (0..5)
+            .map(|r| (0..3).map(|c| ((r * 5 + c * 11) % 17) - 8).collect())
+            .collect();
+        let rows: Vec<&[i32]> = data.iter().map(|r| r.as_slice()).collect();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let got = scan_elementwise(&op, &rows, kind);
+            for slot in 0..3 {
+                let column: Vec<i32> = data.iter().map(|r| r[slot]).collect();
+                let expected = seq::scan(&op, &column, kind);
+                let got_column: Vec<i32> = got.iter().map(|r| r[slot]).collect();
+                assert_eq!(got_column, expected, "slot {slot} kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_yield_identity_outputs() {
+        let op = MonoidOp(Min);
+        let rows: Vec<&[i32]> = vec![];
+        assert!(reduce_elementwise(&op, &rows).is_empty());
+        assert!(scan_elementwise(&op, &rows, ScanKind::Inclusive).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn ragged_rows_panic() {
+        let op = MonoidOp(Min);
+        let rows: Vec<&[i32]> = vec![&[1, 2], &[3]];
+        reduce_elementwise(&op, &rows);
+    }
+}

@@ -1,0 +1,254 @@
+//! `operator!` — a declarative operator definition form, the Rust
+//! counterpart of the paper's RSMPI operator language (Listing 8).
+//!
+//! The paper's C+RSMPI operators are written as a block naming the state
+//! fields and the component functions, which "a simple preprocessor"
+//! translates into plain C; in Chapel the operator is a class whose
+//! *default constructor computes the identity* from field initializers.
+//! This macro gives Rust both properties: the `state { field: T = init }`
+//! clause defines the state struct *and* `f_ident` at once, and the
+//! function clauses compile directly into a [`ReduceScanOp`](crate::op::ReduceScanOp) impl — no
+//! preprocessor needed.
+//!
+//! ```
+//! use gv_core::operator;
+//! use gv_core::prelude::*;
+//!
+//! // Listing 8, transcribed:
+//! operator! {
+//!     /// Is the ordered set of i32s sorted? (paper Listing 8)
+//!     pub Sorted8 {
+//!         commutative: false;
+//!         input: i32;
+//!         output: bool;
+//!         state Sorted8State {
+//!             first: i32 = i32::MAX,
+//!             last: i32 = i32::MIN,
+//!             status: bool = true,
+//!         }
+//!         pre_accum(s, x) { s.first = *x; }
+//!         accum(s, x) {
+//!             if s.last > *x { s.status = false; }
+//!             s.last = *x;
+//!         }
+//!         combine(s1, s2) {
+//!             s1.status = s1.status && s2.status && s1.last <= s2.first;
+//!             s1.last = s2.last;
+//!         }
+//!         generate(s) -> bool { s.status }
+//!     }
+//! }
+//!
+//! assert!(reduce(&Sorted8, &[1, 2, 3]));
+//! assert!(!reduce(&Sorted8, &[2, 1, 3]));
+//! ```
+
+/// Defines an operator declaratively; see the [module docs](self).
+///
+/// Grammar (clauses in this order):
+///
+/// ```text
+/// operator! {
+///     /// docs…
+///     pub NAME {
+///         commutative: BOOL;                  // optional, default true
+///         input: TYPE;
+///         output: TYPE;
+///         state STATE_NAME { field: TYPE = IDENTITY_INIT, … }
+///         pre_accum(s, x)  { … }              // optional
+///         accum(s, x)      { … }
+///         post_accum(s, x) { … }              // optional
+///         combine(s1, s2)  { … }              // s1 precedes s2; s2 by value
+///         generate(s) -> OUT { … }            // shared by reduce and scan
+///         scan_gen(s, x) -> OUT { … }         // optional override
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! operator {
+    (
+        $(#[$meta:meta])*
+        pub $name:ident {
+            $(commutative: $commutative:expr;)?
+            input: $in_ty:ty;
+            output: $out_ty:ty;
+            state $state_name:ident {
+                $($field:ident : $field_ty:ty = $field_init:expr),+ $(,)?
+            }
+            $(pre_accum($pre_s:ident, $pre_x:ident) $pre_body:block)?
+            accum($acc_s:ident, $acc_x:ident) $acc_body:block
+            $(post_accum($post_s:ident, $post_x:ident) $post_body:block)?
+            combine($cmb_a:ident, $cmb_b:ident) $cmb_body:block
+            generate($gen_s:ident) -> $gen_ty:ty $gen_body:block
+            $(scan_gen($sg_s:ident, $sg_x:ident) -> $sg_ty:ty $sg_body:block)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        #[doc = concat!("State of the [`", stringify!($name), "`] operator; \
+                         field initializers are its identity (`f_ident`).")]
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $state_name {
+            $(
+                #[doc = concat!("`", stringify!($field), "` component of the state.")]
+                pub $field: $field_ty,
+            )+
+        }
+
+        impl $name {
+            /// The shared generate function over a borrowed state.
+            #[allow(unused)]
+            fn generate_ref($gen_s: &$state_name) -> $gen_ty $gen_body
+        }
+
+        impl $crate::op::ReduceScanOp for $name {
+            type In = $in_ty;
+            type State = $state_name;
+            type Out = $out_ty;
+
+            // Paper: "If it is undefined, it is assumed to be true by the
+            // compiler."
+            const COMMUTATIVE: bool = true $(&& $commutative)?;
+
+            fn ident(&self) -> $state_name {
+                $state_name {
+                    $($field: $field_init,)+
+                }
+            }
+
+            $(
+                fn pre_accum(&self, $pre_s: &mut $state_name, $pre_x: &$in_ty) $pre_body
+            )?
+
+            fn accum(&self, $acc_s: &mut $state_name, $acc_x: &$in_ty) $acc_body
+
+            $(
+                fn post_accum(&self, $post_s: &mut $state_name, $post_x: &$in_ty) $post_body
+            )?
+
+            fn combine(&self, $cmb_a: &mut $state_name, $cmb_b: $state_name) $cmb_body
+
+            fn red_gen(&self, state: $state_name) -> $out_ty {
+                Self::generate_ref(&state)
+            }
+
+            #[allow(unused_variables)]
+            fn scan_gen(&self, state: &$state_name, x: &$in_ty) -> $out_ty {
+                $(
+                    // Optional per-position override (Listing 6's
+                    // scan_gen(x) case).
+                    return (|$sg_s: &$state_name, $sg_x: &$in_ty| -> $sg_ty { $sg_body })(state, x);
+                )?
+                #[allow(unreachable_code)]
+                Self::generate_ref(state)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::ScanKind;
+    use crate::seq;
+
+    operator! {
+        /// Listing 8's sorted operator, via the macro.
+        pub SortedDecl {
+            commutative: false;
+            input: i32;
+            output: bool;
+            state SortedDeclState {
+                first: i32 = i32::MAX,
+                last: i32 = i32::MIN,
+                status: bool = true,
+            }
+            pre_accum(s, x) { s.first = *x; }
+            accum(s, x) {
+                if s.last > *x {
+                    s.status = false;
+                }
+                s.last = *x;
+            }
+            combine(s1, s2) {
+                s1.status = s1.status && s2.status && s1.last <= s2.first;
+                s1.last = s2.last;
+            }
+            generate(s) -> bool { s.status }
+        }
+    }
+
+    operator! {
+        /// Listing 6's counts operator (8 fixed octants), via the macro —
+        /// exercising the scan_gen override clause.
+        pub CountsDecl {
+            input: usize;
+            output: u64;
+            state CountsDeclState {
+                v: [u64; 8] = [0; 8],
+            }
+            accum(s, x) { s.v[*x] += 1; }
+            combine(s1, s2) {
+                for (a, b) in s1.v.iter_mut().zip(s2.v) {
+                    *a += b;
+                }
+            }
+            generate(s) -> u64 { s.v.iter().sum() }
+            scan_gen(s, x) -> u64 { s.v[*x] }
+        }
+    }
+
+    #[test]
+    fn declared_sorted_matches_listing_semantics() {
+        assert!(seq::reduce(&SortedDecl, &[1, 2, 2, 9]));
+        assert!(!seq::reduce(&SortedDecl, &[1, 3, 2]));
+        const { assert!(!<SortedDecl as crate::op::ReduceScanOp>::COMMUTATIVE) };
+    }
+
+    #[test]
+    fn declared_sorted_agrees_with_library_sorted_on_nonempty_chunks() {
+        use crate::ops::sorted::Sorted;
+        let pool = gv_executor::Pool::new(2);
+        let sorted: Vec<i32> = (0..64).collect();
+        let mut unsorted = sorted.clone();
+        unsorted.swap(5, 40);
+        for parts in [1, 2, 4] {
+            assert_eq!(
+                crate::par::reduce(&pool, parts, &SortedDecl, &sorted),
+                crate::par::reduce(&pool, parts, &Sorted::new(), &sorted)
+            );
+            assert_eq!(
+                crate::par::reduce(&pool, parts, &SortedDecl, &unsorted),
+                crate::par::reduce(&pool, parts, &Sorted::new(), &unsorted)
+            );
+        }
+    }
+
+    #[test]
+    fn field_initializers_are_the_identity() {
+        use crate::op::ReduceScanOp;
+        let s = SortedDecl.ident();
+        assert_eq!(s.first, i32::MAX);
+        assert_eq!(s.last, i32::MIN);
+        assert!(s.status);
+    }
+
+    #[test]
+    fn declared_counts_reduce_and_scan() {
+        let octants: Vec<usize> = [6usize, 7, 6, 3, 8, 2, 8, 4, 8, 3]
+            .iter()
+            .map(|&o| o - 1)
+            .collect();
+        // Reduce via the shared generate: total particle count.
+        assert_eq!(seq::reduce(&CountsDecl, &octants), 10);
+        // Scan via the override: the paper's rankings.
+        let ranks = seq::scan(&CountsDecl, &octants, ScanKind::Inclusive);
+        assert_eq!(ranks, vec![1, 1, 2, 1, 1, 1, 2, 1, 3, 2]);
+    }
+
+    #[test]
+    fn default_commutativity_is_true() {
+        const { assert!(<CountsDecl as crate::op::ReduceScanOp>::COMMUTATIVE) };
+    }
+}

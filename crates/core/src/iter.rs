@@ -1,0 +1,123 @@
+//! Iterator-driven reductions and scans.
+//!
+//! The paper's RSMPI call sites describe inputs with *iterators* ("the
+//! programmer first defines an iterator to describe the values passed to
+//! the accumulate function"); this module gives the sequential engine the
+//! same shape, so operators can consume generated or transformed streams
+//! without materializing them. The pre/post hooks are honoured: the first
+//! element is peeked for `pre_accum` and the last retained for
+//! `post_accum`.
+
+use crate::op::{ReduceScanOp, ScanKind};
+
+/// Reduces the values of an iterator (paper Listing 2 with a streamed
+/// block).
+pub fn reduce_iter<Op, I>(op: &Op, values: I) -> Op::Out
+where
+    Op: ReduceScanOp + ?Sized,
+    I: IntoIterator<Item = Op::In>,
+{
+    let mut state = op.ident();
+    let mut iter = values.into_iter().peekable();
+    if let Some(first) = iter.peek() {
+        op.pre_accum(&mut state, first);
+    }
+    let mut last: Option<Op::In> = None;
+    for x in iter {
+        op.accum(&mut state, &x);
+        last = Some(x);
+    }
+    if let Some(l) = &last {
+        op.post_accum(&mut state, l);
+    }
+    op.red_gen(state)
+}
+
+/// Scans the values of an iterator lazily: yields one output per input,
+/// on demand.
+pub fn scan_iter<'a, Op, I>(
+    op: &'a Op,
+    values: I,
+    kind: ScanKind,
+) -> impl Iterator<Item = Op::Out> + 'a
+where
+    Op: ReduceScanOp + ?Sized,
+    I: IntoIterator<Item = Op::In>,
+    I::IntoIter: 'a,
+{
+    let mut state = op.ident();
+    values.into_iter().map(move |x| match kind {
+        ScanKind::Exclusive => {
+            let out = op.scan_gen(&state, &x);
+            op.accum(&mut state, &x);
+            out
+        }
+        ScanKind::Inclusive => {
+            op.accum(&mut state, &x);
+            op.scan_gen(&state, &x)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::builtin::sum;
+    use crate::ops::mink::MinK;
+    use crate::ops::sorted::Sorted;
+    use crate::seq;
+
+    #[test]
+    fn reduce_iter_matches_slice_reduce() {
+        let data: Vec<i64> = (0..300).map(|i| (i * 37) % 101 - 50).collect();
+        assert_eq!(
+            reduce_iter(&sum::<i64>(), data.iter().copied()),
+            seq::reduce(&sum::<i64>(), &data)
+        );
+        assert_eq!(
+            reduce_iter(&MinK::<i64>::new(5), data.iter().copied()),
+            seq::reduce(&MinK::<i64>::new(5), &data)
+        );
+    }
+
+    #[test]
+    fn reduce_iter_applies_hooks() {
+        // Sorted relies on pre_accum; it must behave identically streamed.
+        let sorted: Vec<i32> = (0..50).collect();
+        assert!(reduce_iter(&Sorted::new(), sorted.iter().copied()));
+        let mut unsorted = sorted.clone();
+        unsorted.swap(20, 30);
+        assert!(!reduce_iter(&Sorted::new(), unsorted.iter().copied()));
+    }
+
+    #[test]
+    fn reduce_iter_over_generated_stream() {
+        // No allocation of the conceptual array: reduce a mapped range.
+        let total = reduce_iter(&sum::<u64>(), (1..=1000u64).map(|i| i * i));
+        assert_eq!(total, 1000 * 1001 * 2001 / 6);
+    }
+
+    #[test]
+    fn scan_iter_is_lazy_and_correct() {
+        let data: Vec<i64> = (1..=10).collect();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let streamed: Vec<i64> =
+                scan_iter(&sum::<i64>(), data.iter().copied(), kind).collect();
+            assert_eq!(streamed, seq::scan(&sum::<i64>(), &data, kind));
+        }
+        // Laziness: taking a prefix only evaluates that prefix.
+        let first3: Vec<i64> = scan_iter(&sum::<i64>(), 1i64.., ScanKind::Inclusive)
+            .take(3)
+            .collect();
+        assert_eq!(first3, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_iterators() {
+        assert_eq!(reduce_iter(&sum::<i64>(), std::iter::empty()), 0);
+        assert_eq!(
+            scan_iter(&sum::<i64>(), std::iter::empty(), ScanKind::Inclusive).count(),
+            0
+        );
+    }
+}

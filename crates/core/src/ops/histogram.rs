@@ -1,0 +1,169 @@
+//! Value histograms over explicit bin edges — `counts` (Listing 6)
+//! generalized from categorical bucket indices to real-valued data.
+//!
+//! Where [`crate::ops::counts::Counts`] takes pre-assigned bucket indices,
+//! `Histogram` takes raw values and bins them against a sorted edge
+//! vector, with underflow/overflow bins. The scan form ranks each value
+//! within its bin, like the paper's particle example does for octants.
+
+use crate::op::ReduceScanOp;
+
+/// Bin assignment for a value against sorted edges `e0 < e1 < … < e_{m-1}`:
+/// bin 0 is `(-∞, e0)`, bin i is `[e_{i-1}, e_i)`, bin m is `[e_{m-1}, ∞)`.
+#[inline]
+fn bin_of(edges: &[f64], x: f64) -> usize {
+    edges.partition_point(|&e| e <= x)
+}
+
+/// Result of a [`Histogram`] reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramCounts {
+    /// Occupancy per bin, length `edges.len() + 1` (underflow bin first,
+    /// overflow bin last).
+    pub bins: Vec<u64>,
+}
+
+impl HistogramCounts {
+    /// Total samples counted.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+/// The histogram operator.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing, finite bin
+    /// edges (at least one).
+    ///
+    /// # Panics
+    /// Panics on empty, non-finite or non-increasing edges.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "a histogram needs at least one edge");
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        Histogram { edges }
+    }
+
+    /// Evenly spaced edges covering `[lo, hi]` with `bins` interior bins.
+    pub fn uniform(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo);
+        let step = (hi - lo) / bins as f64;
+        Self::new((0..=bins).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// Number of bins, including the two open-ended ones.
+    pub fn bin_count(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// The edge vector.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+impl ReduceScanOp for Histogram {
+    type In = f64;
+    type State = Vec<u64>;
+    /// Reduce yields the full histogram; the scan output at each position
+    /// is that value's 1-based rank within its own bin (inclusive scan),
+    /// mirroring Listing 6's distinct generate functions.
+    type Out = HistogramCounts;
+
+    fn ident(&self) -> Vec<u64> {
+        vec![0; self.bin_count()]
+    }
+
+    fn accum(&self, state: &mut Vec<u64>, x: &f64) {
+        state[bin_of(&self.edges, *x)] += 1;
+    }
+
+    fn combine(&self, earlier: &mut Vec<u64>, later: Vec<u64>) {
+        for (a, b) in earlier.iter_mut().zip(later) {
+            *a += b;
+        }
+    }
+
+    fn red_gen(&self, state: Vec<u64>) -> HistogramCounts {
+        HistogramCounts { bins: state }
+    }
+
+    fn scan_gen(&self, state: &Vec<u64>, x: &f64) -> HistogramCounts {
+        HistogramCounts {
+            bins: vec![state[bin_of(&self.edges, *x)]],
+        }
+    }
+
+    fn wire_size(&self, state: &Vec<u64>) -> usize {
+        state.len() * std::mem::size_of::<u64>()
+    }
+
+    fn combine_ops(&self, incoming: &Vec<u64>) -> u64 {
+        incoming.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ScanKind;
+    use crate::seq;
+
+    #[test]
+    fn bin_assignment_with_open_ends() {
+        let edges = [0.0, 1.0, 2.0];
+        assert_eq!(bin_of(&edges, -5.0), 0); // underflow
+        assert_eq!(bin_of(&edges, 0.0), 1); // [0, 1)
+        assert_eq!(bin_of(&edges, 0.99), 1);
+        assert_eq!(bin_of(&edges, 1.0), 2); // [1, 2)
+        assert_eq!(bin_of(&edges, 7.0), 3); // overflow
+    }
+
+    #[test]
+    fn histogram_counts_known_data() {
+        let h = Histogram::uniform(0.0, 10.0, 5); // edges 0,2,4,6,8,10
+        let data = [-1.0, 0.5, 1.0, 3.3, 9.9, 10.0, 42.0];
+        let got = seq::reduce(&h, &data);
+        // underflow | [0,2) ×2 | [2,4) | [4,6) | [6,8) | [8,10) | overflow ×2
+        assert_eq!(got.bins, vec![1, 2, 1, 0, 0, 1, 2]);
+        assert_eq!(got.total(), data.len() as u64);
+    }
+
+    #[test]
+    fn scan_ranks_within_bins() {
+        let h = Histogram::new(vec![10.0]);
+        // Bins: (<10) and (≥10); ranks within each.
+        let data = [1.0, 20.0, 2.0, 30.0, 3.0];
+        let got = seq::scan(&h, &data, ScanKind::Inclusive);
+        let ranks: Vec<u64> = got.into_iter().map(|h| h.bins[0]).collect();
+        assert_eq!(ranks, vec![1, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = gv_executor::Pool::new(2);
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 193) % 777) as f64 / 7.0).collect();
+        let h = Histogram::uniform(0.0, 111.0, 16);
+        let expected = seq::reduce(&h, &data);
+        for parts in [1, 4, 33] {
+            assert_eq!(crate::par::reduce(&pool, parts, &h, &data), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_edges_panic() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! `LongestRun` — length (and position) of the longest non-decreasing run.
+//!
+//! A classic divide-and-conquer state: each partial tracks its prefix run,
+//! suffix run, best interior run and boundary elements, and the combine
+//! stitches runs across the boundary. It generalizes the paper's `sorted`
+//! operator (Listing 7): `sorted(A) ⇔ longest_run(A) == |A|`, and like
+//! `sorted` it is non-commutative and needs the boundary elements — a
+//! natural next entry for the operator library the paper envisions users
+//! building.
+
+use crate::op::ReduceScanOp;
+
+/// State of a [`LongestRun`] reduction over a run of elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunState<T> {
+    /// `(first_element, last_element, total_len, prefix_len, suffix_len,
+    /// best_len, best_start)` — `None` for the empty run.
+    pub inner: Option<RunInner<T>>,
+}
+
+/// Non-empty run bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunInner<T> {
+    /// First element of the covered block.
+    pub first: T,
+    /// Last element of the covered block.
+    pub last: T,
+    /// Number of covered elements.
+    pub total: u64,
+    /// Length of the non-decreasing prefix.
+    pub prefix: u64,
+    /// Length of the non-decreasing suffix.
+    pub suffix: u64,
+    /// Length of the best run anywhere in the block.
+    pub best: u64,
+    /// Global offset (relative to the block start) of the best run.
+    pub best_start: u64,
+}
+
+/// Result of a [`LongestRun`] reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongestRunResult {
+    /// Length of the longest non-decreasing run (0 for empty input).
+    pub len: u64,
+    /// Start offset of that run within the reduced block.
+    pub start: u64,
+}
+
+/// The `longest non-decreasing run` operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LongestRun<T>(std::marker::PhantomData<T>);
+
+impl<T> LongestRun<T> {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        LongestRun(std::marker::PhantomData)
+    }
+}
+
+impl<T> ReduceScanOp for LongestRun<T>
+where
+    T: Copy + PartialOrd + std::fmt::Debug,
+{
+    type In = T;
+    type State = RunState<T>;
+    type Out = LongestRunResult;
+
+    const COMMUTATIVE: bool = false;
+
+    fn ident(&self) -> RunState<T> {
+        RunState { inner: None }
+    }
+
+    fn accum(&self, state: &mut RunState<T>, x: &T) {
+        match &mut state.inner {
+            None => {
+                state.inner = Some(RunInner {
+                    first: *x,
+                    last: *x,
+                    total: 1,
+                    prefix: 1,
+                    suffix: 1,
+                    best: 1,
+                    best_start: 0,
+                });
+            }
+            Some(r) => {
+                let continues = r.last <= *x;
+                r.total += 1;
+                if continues {
+                    r.suffix += 1;
+                    if r.prefix == r.total - 1 {
+                        r.prefix = r.total;
+                    }
+                } else {
+                    r.suffix = 1;
+                }
+                if r.suffix > r.best {
+                    r.best = r.suffix;
+                    r.best_start = r.total - r.suffix;
+                }
+                r.last = *x;
+            }
+        }
+    }
+
+    fn combine(&self, earlier: &mut RunState<T>, later: RunState<T>) {
+        let Some(b) = later.inner else { return };
+        let Some(a) = &mut earlier.inner else {
+            earlier.inner = Some(b);
+            return;
+        };
+        let joins = a.last <= b.first;
+        let bridged = if joins { a.suffix + b.prefix } else { 0 };
+        // Longest wins; ties go to the earliest start (matching a serial
+        // left-to-right search).
+        let mut candidate = (a.best, a.best_start);
+        for other in [
+            (bridged, a.total - a.suffix),
+            (b.best, a.total + b.best_start),
+        ] {
+            if other.0 > candidate.0 || (other.0 == candidate.0 && other.1 < candidate.1) {
+                candidate = other;
+            }
+        }
+        let (best, best_start) = candidate;
+        let prefix = if a.prefix == a.total && joins {
+            a.total + b.prefix
+        } else {
+            a.prefix
+        };
+        let suffix = if b.suffix == b.total && joins {
+            b.total + a.suffix
+        } else {
+            b.suffix
+        };
+        *a = RunInner {
+            first: a.first,
+            last: b.last,
+            total: a.total + b.total,
+            prefix,
+            suffix,
+            best,
+            best_start,
+        };
+    }
+
+    fn red_gen(&self, state: RunState<T>) -> LongestRunResult {
+        match state.inner {
+            None => LongestRunResult { len: 0, start: 0 },
+            Some(r) => LongestRunResult {
+                len: r.best,
+                start: r.best_start,
+            },
+        }
+    }
+
+    fn scan_gen(&self, state: &RunState<T>, _x: &T) -> LongestRunResult {
+        match &state.inner {
+            None => LongestRunResult { len: 0, start: 0 },
+            Some(r) => LongestRunResult {
+                len: r.best,
+                start: r.best_start,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    /// Brute-force oracle: longest non-decreasing run and its first start.
+    fn oracle(data: &[i64]) -> LongestRunResult {
+        if data.is_empty() {
+            return LongestRunResult { len: 0, start: 0 };
+        }
+        let (mut best, mut best_start) = (1u64, 0u64);
+        let (mut cur, mut cur_start) = (1u64, 0u64);
+        for i in 1..data.len() {
+            if data[i - 1] <= data[i] {
+                cur += 1;
+            } else {
+                cur = 1;
+                cur_start = i as u64;
+            }
+            if cur > best {
+                best = cur;
+                best_start = cur_start;
+            }
+        }
+        LongestRunResult {
+            len: best,
+            start: best_start,
+        }
+    }
+
+    #[test]
+    fn known_cases() {
+        assert_eq!(
+            seq::reduce(&LongestRun::new(), &[3i64, 1, 2, 2, 5, 0, 7]),
+            LongestRunResult { len: 4, start: 1 }
+        );
+        assert_eq!(
+            seq::reduce(&LongestRun::new(), &[] as &[i64]),
+            LongestRunResult { len: 0, start: 0 }
+        );
+        assert_eq!(
+            seq::reduce(&LongestRun::new(), &[9i64]),
+            LongestRunResult { len: 1, start: 0 }
+        );
+    }
+
+    #[test]
+    fn fully_sorted_input_is_one_run() {
+        let data: Vec<i64> = (0..50).collect();
+        assert_eq!(
+            seq::reduce(&LongestRun::new(), &data),
+            LongestRunResult { len: 50, start: 0 }
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_pseudorandom_data() {
+        for seed in 0..20u64 {
+            let data: Vec<i64> = (0..97)
+                .map(|i| ((i as u64).wrapping_mul(seed * 2 + 12345) % 13) as i64)
+                .collect();
+            assert_eq!(
+                seq::reduce(&LongestRun::new(), &data),
+                oracle(&data),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_invariant_for_all_decompositions() {
+        let pool = gv_executor::Pool::new(2);
+        for seed in 0..8u64 {
+            let data: Vec<i64> = (0..143)
+                .map(|i| ((i as u64).wrapping_mul(seed * 6 + 7) % 11) as i64)
+                .collect();
+            let expected = seq::reduce(&LongestRun::new(), &data);
+            for parts in [1, 2, 3, 7, 50, 143, 200] {
+                assert_eq!(
+                    crate::par::reduce(&pool, parts, &LongestRun::new(), &data),
+                    expected,
+                    "seed={seed} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generalizes_sorted() {
+        use crate::ops::sorted::Sorted;
+        for seed in 0..10u64 {
+            let data: Vec<i64> = (0..60)
+                .map(|i| ((i as u64).wrapping_mul(seed + 3) % 40) as i64)
+                .collect();
+            let run = seq::reduce(&LongestRun::new(), &data);
+            let sorted = seq::reduce(&Sorted::new(), &data);
+            assert_eq!(sorted, run.len == data.len() as u64, "seed={seed}");
+        }
+    }
+}

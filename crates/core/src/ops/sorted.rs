@@ -1,0 +1,282 @@
+//! The `sorted` operator (paper §3.1.4, Listings 7 and 8): is the ordered
+//! set sorted (non-decreasing)?
+//!
+//! This is the paper's flagship **non-commutative** operator and the one
+//! used in the NAS IS case study (§4.1). Two implementations live here:
+//!
+//! * [`Sorted`] — the recommended form. Its state carries
+//!   `Option<(first, last)>` bounds, so the identity is a true identity and
+//!   the combine performs the boundary check even when empty states sit
+//!   between non-empty ones.
+//! * [`SortedPaperExact`] — a literal transcription of Listing 7, with
+//!   `first = in_t.max` / `last = in_t.min` sentinels. It is kept because it
+//!   demonstrates a genuine subtlety in the paper's formulation: when an
+//!   *empty* processor's identity state is combined between two non-empty
+//!   neighbours, the sentinel `last = MIN` makes the subsequent boundary
+//!   check `last <= s.first` vacuously true, silently skipping the
+//!   cross-neighbour comparison. `[5], [], [3]` reduces to *sorted* under
+//!   Listing 7's rules. The paper's usage is safe because every processor
+//!   in the NAS runs holds data, but a general-purpose library cannot
+//!   assume that; see `sorted_paper_exact_misses_empty_boundary` below and
+//!   the note in DESIGN.md.
+
+use crate::op::ReduceScanOp;
+use crate::ops::num::Bounded;
+
+/// State of the [`Sorted`] reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortedState<T> {
+    /// Whether every run accumulated/combined so far was internally sorted
+    /// and every adjacent boundary was in order.
+    pub status: bool,
+    /// `(first, last)` elements of the (concatenated) run; `None` for the
+    /// identity of an empty run.
+    pub bounds: Option<(T, T)>,
+}
+
+/// The `sorted` operator: reduces to `true` iff the ordered set is
+/// non-decreasing. Non-commutative.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sorted<T>(std::marker::PhantomData<T>);
+
+impl<T> Sorted<T> {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Sorted(std::marker::PhantomData)
+    }
+}
+
+impl<T> ReduceScanOp for Sorted<T>
+where
+    T: Copy + PartialOrd + std::fmt::Debug,
+{
+    type In = T;
+    type State = SortedState<T>;
+    type Out = bool;
+
+    const COMMUTATIVE: bool = false;
+
+    fn ident(&self) -> SortedState<T> {
+        SortedState {
+            status: true,
+            bounds: None,
+        }
+    }
+
+    /// Listing 7's `pre_accum` sets `first`; here it initializes both
+    /// bounds from the first element.
+    fn pre_accum(&self, state: &mut SortedState<T>, first: &T) {
+        if state.bounds.is_none() {
+            state.bounds = Some((*first, *first));
+        }
+    }
+
+    fn accum(&self, state: &mut SortedState<T>, x: &T) {
+        match &mut state.bounds {
+            Some((_, last)) => {
+                if *last > *x {
+                    state.status = false;
+                }
+                *last = *x;
+            }
+            // Reached only when the engine skips pre_accum (e.g. the scan
+            // rescan loop, Listing 3 lines 10–13): self-initialize.
+            None => state.bounds = Some((*x, *x)),
+        }
+    }
+
+    fn combine(&self, earlier: &mut SortedState<T>, later: SortedState<T>) {
+        earlier.status = earlier.status && later.status;
+        match (&mut earlier.bounds, later.bounds) {
+            (Some((_, last)), Some((later_first, later_last))) => {
+                if *last > later_first {
+                    earlier.status = false;
+                }
+                *last = later_last;
+            }
+            (None, Some(bounds)) => earlier.bounds = Some(bounds),
+            // Combining an empty later run changes nothing.
+            (_, None) => {}
+        }
+    }
+
+    fn red_gen(&self, state: SortedState<T>) -> bool {
+        state.status
+    }
+
+    /// With an inclusive scan, position `i` reports whether the prefix
+    /// `0..=i` is sorted.
+    fn scan_gen(&self, state: &SortedState<T>, _x: &T) -> bool {
+        state.status
+    }
+}
+
+/// Literal transcription of paper Listing 7 (see the module docs for why
+/// the library form [`Sorted`] is preferred).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortedPaperExact<T>(std::marker::PhantomData<T>);
+
+impl<T> SortedPaperExact<T> {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        SortedPaperExact(std::marker::PhantomData)
+    }
+}
+
+/// State of [`SortedPaperExact`]: Listing 7's three fields with their
+/// sentinel initializers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortedPaperState<T> {
+    /// `var status: boole = true;`
+    pub status: bool,
+    /// `var first: in_t = in_t.max;`
+    pub first: T,
+    /// `var last: in_t = in_t.min;`
+    pub last: T,
+}
+
+impl<T> ReduceScanOp for SortedPaperExact<T>
+where
+    T: Bounded + std::fmt::Debug,
+{
+    type In = T;
+    type State = SortedPaperState<T>;
+    type Out = bool;
+
+    const COMMUTATIVE: bool = false;
+
+    fn ident(&self) -> SortedPaperState<T> {
+        SortedPaperState {
+            status: true,
+            first: T::MAX_VALUE,
+            last: T::MIN_VALUE,
+        }
+    }
+
+    fn pre_accum(&self, state: &mut SortedPaperState<T>, first: &T) {
+        state.first = *first;
+    }
+
+    fn accum(&self, state: &mut SortedPaperState<T>, x: &T) {
+        if state.last > *x {
+            state.status = false;
+        }
+        state.last = *x;
+    }
+
+    fn combine(&self, earlier: &mut SortedPaperState<T>, later: SortedPaperState<T>) {
+        earlier.status = earlier.status && later.status && earlier.last <= later.first;
+        earlier.last = later.last;
+    }
+
+    fn red_gen(&self, state: SortedPaperState<T>) -> bool {
+        state.status
+    }
+
+    fn scan_gen(&self, state: &SortedPaperState<T>, _x: &T) -> bool {
+        state.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{accumulate_block, ScanKind};
+    use crate::seq;
+
+    #[test]
+    fn sorted_inputs_reduce_true() {
+        assert!(seq::reduce(&Sorted::new(), &[1i32, 2, 2, 5, 9]));
+        assert!(seq::reduce(&Sorted::new(), &[42i32]));
+        assert!(seq::reduce(&Sorted::new(), &[] as &[i32]));
+    }
+
+    #[test]
+    fn unsorted_inputs_reduce_false() {
+        assert!(!seq::reduce(&Sorted::new(), &[1i32, 3, 2]));
+        assert!(!seq::reduce(&Sorted::new(), &[2i32, 1]));
+    }
+
+    #[test]
+    fn scan_reports_longest_sorted_prefix() {
+        let got = seq::scan(&Sorted::new(), &[1i32, 2, 5, 4, 6], ScanKind::Inclusive);
+        assert_eq!(got, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn parallel_sorted_matches_sequential_for_all_chunkings() {
+        let pool = gv_executor::Pool::new(2);
+        let sorted: Vec<i64> = (0..200).collect();
+        let mut unsorted = sorted.clone();
+        unsorted.swap(117, 118);
+        for parts in [1, 2, 3, 7, 50, 199, 200, 333] {
+            assert!(crate::par::reduce(&pool, parts, &Sorted::new(), &sorted));
+            assert!(
+                !crate::par::reduce(&pool, parts, &Sorted::new(), &unsorted),
+                "parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_violation_between_chunks_is_detected() {
+        // Each chunk internally sorted, but the boundary is not: the whole
+        // point of tracking first/last.
+        let pool = gv_executor::Pool::new(2);
+        let data = [1i32, 2, 3, /* chunk boundary at 4 parts */ 0, 1, 2];
+        assert!(!crate::par::reduce(&pool, 2, &Sorted::new(), &data));
+    }
+
+    #[test]
+    fn library_sorted_handles_empty_middle_chunk() {
+        // [5] ++ [] ++ [3] is not sorted, and the Option-based state sees it.
+        let op = Sorted::new();
+        let mut a = op.ident();
+        accumulate_block(&op, &mut a, &[5i32]);
+        let empty = op.ident();
+        let mut c = op.ident();
+        accumulate_block(&op, &mut c, &[3i32]);
+        op.combine(&mut a, empty);
+        op.combine(&mut a, c);
+        assert!(!op.red_gen(a));
+    }
+
+    #[test]
+    fn sorted_paper_exact_misses_empty_boundary() {
+        // Documented divergence: Listing 7's sentinel identity loses the
+        // boundary check across an empty processor. This test pins the
+        // (incorrect) behaviour of the literal transcription.
+        let op = SortedPaperExact::new();
+        let mut a = op.ident();
+        accumulate_block(&op, &mut a, &[5i32]);
+        let empty = op.ident();
+        let mut c = op.ident();
+        accumulate_block(&op, &mut c, &[3i32]);
+        op.combine(&mut a, empty);
+        op.combine(&mut a, c);
+        assert!(
+            op.red_gen(a),
+            "Listing 7 semantics: empty middle chunk hides the 5 > 3 boundary"
+        );
+    }
+
+    #[test]
+    fn sorted_paper_exact_agrees_on_nonempty_chunks() {
+        // Where every chunk is non-empty (the paper's NAS usage), the two
+        // forms agree.
+        let pool = gv_executor::Pool::new(2);
+        let sorted: Vec<i32> = (0..64).collect();
+        let mut unsorted = sorted.clone();
+        unsorted.swap(10, 40);
+        for parts in [1, 2, 4, 8] {
+            assert_eq!(
+                crate::par::reduce(&pool, parts, &SortedPaperExact::new(), &sorted),
+                crate::par::reduce(&pool, parts, &Sorted::new(), &sorted),
+            );
+            assert_eq!(
+                crate::par::reduce(&pool, parts, &SortedPaperExact::new(), &unsorted),
+                crate::par::reduce(&pool, parts, &Sorted::new(), &unsorted),
+            );
+        }
+    }
+}

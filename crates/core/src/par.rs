@@ -1,0 +1,247 @@
+//! Shared-memory engine: Listings 2 and 3 over virtual processors.
+//!
+//! Each virtual processor `q` owns a contiguous chunk of the input. The
+//! reduce engine runs the accumulate phase in parallel and then combines
+//! the per-chunk states along an in-order binary tree (log depth, valid for
+//! any associative operator — commutative or not, adjacent-only combining
+//! preserves set order). The scan engine is Listing 3 verbatim: parallel
+//! accumulate, an exclusive scan over the `p` chunk states, then a parallel
+//! rescan that interleaves `scan_gen` with `accum`.
+
+use gv_executor::chunks::chunk_ranges;
+use gv_executor::Pool;
+
+use crate::op::{accumulate_block, ReduceScanOp, ScanKind};
+
+/// Combines `states` (already in set order) pairwise along an in-order
+/// binary tree until one state remains. Returns the identity for an empty
+/// input.
+///
+/// Adjacent pairing means every `combine(earlier, later)` call respects set
+/// order, so this is correct for non-commutative associative operators; the
+/// tree shape mirrors what the message-passing layer does with log-depth
+/// communication.
+pub fn tree_combine<Op: ReduceScanOp + ?Sized>(op: &Op, states: Vec<Op::State>) -> Op::State {
+    let mut level = states;
+    if level.is_empty() {
+        return op.ident();
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut iter = level.into_iter();
+        while let Some(mut left) = iter.next() {
+            if let Some(right) = iter.next() {
+                op.combine(&mut left, right);
+            }
+            next.push(left);
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty level")
+}
+
+/// Runs the accumulate phase of Listing 2 in parallel: one state per chunk.
+fn accumulate_phase<Op>(pool: &Pool, parts: usize, op: &Op, input: &[Op::In]) -> Vec<Op::State>
+where
+    Op: ReduceScanOp + Sync + ?Sized,
+    Op::In: Sync,
+    Op::State: Send,
+{
+    gv_executor::par_map_chunks(pool, input, parts, |_, chunk| {
+        let mut state = op.ident();
+        accumulate_block(op, &mut state, chunk);
+        state
+    })
+}
+
+/// Global-view parallel reduction (Listing 2) over `parts` virtual
+/// processors scheduled on `pool`.
+///
+/// The result is identical to [`crate::seq::reduce`] for any associative
+/// operator and any `parts ≥ 1`.
+pub fn reduce<Op>(pool: &Pool, parts: usize, op: &Op, input: &[Op::In]) -> Op::Out
+where
+    Op: ReduceScanOp + Sync + ?Sized,
+    Op::In: Sync,
+    Op::State: Send,
+{
+    let states = accumulate_phase(pool, parts, op, input);
+    op.red_gen(tree_combine(op, states))
+}
+
+/// Global-view parallel scan (Listing 3) over `parts` virtual processors
+/// scheduled on `pool`.
+///
+/// `State: Clone` is needed because the exclusive scan over chunk states
+/// keeps a running prefix while also handing each chunk its starting state
+/// — exactly the `s_q` values of Listing 3 line 9.
+pub fn scan<Op>(
+    pool: &Pool,
+    parts: usize,
+    op: &Op,
+    input: &[Op::In],
+    kind: ScanKind,
+) -> Vec<Op::Out>
+where
+    Op: ReduceScanOp + Sync + ?Sized,
+    Op::In: Sync,
+    Op::State: Clone + Send,
+    Op::Out: Send,
+{
+    // Phase 1 (Listing 3 lines 1–8): per-chunk accumulate with hooks.
+    let states = accumulate_phase(pool, parts, op, input);
+
+    // Line 9: exclusive scan of the chunk states, in set order. `p` is
+    // small, so this runs sequentially here; the message-passing engine
+    // does the same step with a log-depth communication schedule.
+    let mut chunk_prefixes = Vec::with_capacity(parts);
+    let mut running = op.ident();
+    for s in states {
+        chunk_prefixes.push(running.clone());
+        op.combine(&mut running, s);
+    }
+
+    // Phase 2 (lines 10–13): parallel rescan, each chunk starting from its
+    // exclusive prefix state. Exclusive order is generate-then-accumulate;
+    // inclusive interchanges the two lines, as the paper prescribes.
+    let mut results: Vec<Option<Vec<Op::Out>>> = Vec::with_capacity(parts);
+    results.resize_with(parts, || None);
+    pool.scope(|scope| {
+        for ((slot, range), prefix) in results
+            .iter_mut()
+            .zip(chunk_ranges(input.len(), parts))
+            .zip(chunk_prefixes)
+        {
+            let chunk = &input[range];
+            scope.spawn(move || {
+                let mut state = prefix;
+                let mut out = Vec::with_capacity(chunk.len());
+                for x in chunk {
+                    match kind {
+                        ScanKind::Exclusive => {
+                            out.push(op.scan_gen(&state, x));
+                            op.accum(&mut state, x);
+                        }
+                        ScanKind::Inclusive => {
+                            op.accum(&mut state, x);
+                            out.push(op.scan_gen(&state, x));
+                        }
+                    }
+                }
+                *slot = Some(out);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(input.len());
+    for piece in results {
+        out.extend(piece.expect("scan chunk produced no output"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{Monoid, MonoidOp};
+    use crate::seq;
+
+    struct Add;
+    impl Monoid for Add {
+        type T = i64;
+        fn identity(&self) -> i64 {
+            0
+        }
+        fn combine(&self, a: &mut i64, b: &i64) {
+            *a += *b;
+        }
+    }
+
+    struct Concat;
+    impl Monoid for Concat {
+        type T = String;
+        const COMMUTATIVE: bool = false;
+        fn identity(&self) -> String {
+            String::new()
+        }
+        fn combine(&self, a: &mut String, b: &String) {
+            a.push_str(b);
+        }
+    }
+
+    #[test]
+    fn tree_combine_of_nothing_is_identity() {
+        let op = MonoidOp(Add);
+        assert_eq!(tree_combine(&op, vec![]), 0);
+    }
+
+    #[test]
+    fn tree_combine_preserves_order() {
+        let op = MonoidOp(Concat);
+        for n in 1..=9 {
+            let states: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            let expected: String = states.concat();
+            assert_eq!(tree_combine(&op, states), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_for_all_chunkings() {
+        let pool = Pool::new(3);
+        let op = MonoidOp(Add);
+        let input: Vec<i64> = (0..257).map(|i| (i * 7) % 31 - 15).collect();
+        let expected = seq::reduce(&op, &input);
+        for parts in [1, 2, 3, 5, 8, 64, 300] {
+            assert_eq!(reduce(&pool, parts, &op, &input), expected, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn parallel_noncommutative_reduce_matches_sequential() {
+        let pool = Pool::new(4);
+        let op = MonoidOp(Concat);
+        let input: Vec<String> = (0..41).map(|i| format!("<{i}>")).collect();
+        let expected = seq::reduce(&op, &input);
+        for parts in [1, 2, 3, 7, 41, 100] {
+            assert_eq!(reduce(&pool, parts, &op, &input), expected, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_for_all_chunkings() {
+        let pool = Pool::new(3);
+        let op = MonoidOp(Add);
+        let input: Vec<i64> = (0..130).map(|i| (i * 13) % 17 - 8).collect();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let expected = seq::scan(&op, &input, kind);
+            for parts in [1, 2, 4, 9, 130, 200] {
+                assert_eq!(
+                    scan(&pool, parts, &op, &input, kind),
+                    expected,
+                    "parts={parts} kind={kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_noncommutative_scan_matches_sequential() {
+        let pool = Pool::new(2);
+        let op = MonoidOp(Concat);
+        let input: Vec<String> = "abcdefghij".chars().map(String::from).collect();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let expected = seq::scan(&op, &input, kind);
+            for parts in [1, 3, 10, 12] {
+                assert_eq!(scan(&pool, parts, &op, &input, kind), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_parallel() {
+        let pool = Pool::new(2);
+        let op = MonoidOp(Add);
+        assert_eq!(reduce(&pool, 4, &op, &[]), 0);
+        assert!(scan(&pool, 4, &op, &[], ScanKind::Inclusive).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! A reusable sense-reversing barrier.
+//!
+//! Used by tests and by lock-step phases of the shared-memory engine. A
+//! sense-reversing barrier flips a shared "sense" bit each round, so the
+//! same barrier object can be reused for any number of rounds without the
+//! generation-counting races of naive counter barriers.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable barrier for a fixed set of `parties` threads.
+pub struct SenseBarrier {
+    parties: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Returned by [`SenseBarrier::wait`]; `is_leader` is true for exactly one
+/// waiter per round (the last to arrive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWait {
+    /// Whether this waiter was the last to arrive this round.
+    pub is_leader: bool,
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a barrier needs at least one party");
+        SenseBarrier {
+            parties,
+            remaining: AtomicUsize::new(parties),
+            sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The number of threads that must call [`wait`](Self::wait) per round.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all `parties` threads have called `wait` this round.
+    pub fn wait(&self) -> BarrierWait {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival: reset and release the round.
+            self.remaining.store(self.parties, Ordering::Release);
+            let _guard = self.lock.lock();
+            self.sense.store(my_sense, Ordering::Release);
+            self.cv.notify_all();
+            return BarrierWait { is_leader: true };
+        }
+        let mut guard = self.lock.lock();
+        while self.sense.load(Ordering::Acquire) != my_sense {
+            self.cv.wait(&mut guard);
+        }
+        BarrierWait { is_leader: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..5 {
+            assert!(b.wait().is_leader);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 25;
+        let barrier = Arc::new(SenseBarrier::new(PARTIES));
+        let phase_counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..PARTIES)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&phase_counter);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier every party must observe all
+                        // increments from this round.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= (round + 1) * PARTIES,
+                            "round {round}: saw {seen}"
+                        );
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase_counter.load(Ordering::SeqCst), PARTIES * ROUNDS);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const PARTIES: usize = 3;
+        const ROUNDS: usize = 10;
+        let barrier = Arc::new(SenseBarrier::new(PARTIES));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..PARTIES)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        if barrier.wait().is_leader {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS);
+    }
+}

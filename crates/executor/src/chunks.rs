@@ -1,0 +1,205 @@
+//! Chunk partitioning: one contiguous block per virtual processor.
+//!
+//! The global-view engines assign each virtual processor `q` a contiguous
+//! block of the input, matching the paper's `in_q(0) .. in_q(n-1)` notation.
+//! Blocks are balanced to within one element: the first `len % parts` blocks
+//! get one extra element. Empty blocks occur only when `parts > len`, which
+//! the engines must (and do) tolerate — the paper's Listings guard the
+//! `pre_accum`/`post_accum` calls with `if n > 0` for exactly this reason.
+
+use std::ops::Range;
+
+use crate::pool::Pool;
+
+/// Splits `0..len` into `parts` balanced, contiguous, in-order ranges.
+///
+/// Always yields exactly `parts` ranges (some possibly empty).
+///
+/// # Panics
+/// Panics if `parts` is zero.
+pub fn chunk_ranges(len: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    assert!(parts >= 1, "cannot split into zero chunks");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0usize;
+    (0..parts).map(move |i| {
+        let size = base + usize::from(i < extra);
+        let range = start..start + size;
+        start += size;
+        range
+    })
+}
+
+/// Runs `f(chunk_index, chunk)` on each of `parts` balanced chunks of
+/// `data`, in parallel on `pool`, and returns the results in chunk order.
+///
+/// The chunk decomposition is deterministic — results are identical for any
+/// pool size, including a single-threaded pool.
+pub fn par_map_chunks<T, R, F>(pool: &Pool, data: &[T], parts: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(parts >= 1, "cannot split into zero chunks");
+    let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
+    out.resize_with(parts, || None);
+    pool.scope(|s| {
+        for (chunk_index, (slot, range)) in out
+            .iter_mut()
+            .zip(chunk_ranges(data.len(), parts))
+            .enumerate()
+        {
+            let f = &f;
+            let chunk = &data[range];
+            s.spawn(move || {
+                *slot = Some(f(chunk_index, chunk));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("chunk job did not produce a result"))
+        .collect()
+}
+
+/// Runs `f(chunk_index, chunk)` on each of `parts` balanced **mutable**
+/// chunks of `data`, in parallel on `pool`, returning results in chunk
+/// order. Used by the scan engines to fill per-processor output blocks in
+/// place.
+pub fn par_map_chunks_mut<T, R, F>(pool: &Pool, data: &mut [T], parts: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(parts >= 1, "cannot split into zero chunks");
+    let len = data.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(parts);
+    out.resize_with(parts, || None);
+    // Split `data` into disjoint mutable chunks up front.
+    let mut pieces: Vec<&mut [T]> = Vec::with_capacity(parts);
+    let mut rest = data;
+    for range in chunk_ranges(len, parts) {
+        let (head, tail) = rest.split_at_mut(range.len());
+        pieces.push(head);
+        rest = tail;
+    }
+    pool.scope(|s| {
+        for (chunk_index, (slot, chunk)) in out.iter_mut().zip(pieces).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                *slot = Some(f(chunk_index, chunk));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("chunk job did not produce a result"))
+        .collect()
+}
+
+/// Runs `f(i)` for every `i` in `range`, split into `parts` balanced
+/// contiguous chunks executed in parallel on `pool` — the bare
+/// `forall processors q` loop shape.
+pub fn par_for<F>(pool: &Pool, range: std::ops::Range<usize>, parts: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let start = range.start;
+    let len = range.len();
+    pool.scope(|scope| {
+        for chunk in chunk_ranges(len, parts) {
+            let f = &f;
+            scope.spawn(move || {
+                for i in chunk {
+                    f(start + i);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        par_for(&pool, 10..90, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = u32::from((10..90).contains(&i));
+            assert_eq!(h.load(Ordering::Relaxed), expected, "i={i}");
+        }
+    }
+
+    #[test]
+    fn par_for_empty_range_is_a_noop() {
+        let pool = Pool::new(2);
+        par_for(&pool, 5..5, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 100, 150] {
+                let ranges: Vec<_> = chunk_ranges(len, parts).collect();
+                assert_eq!(ranges.len(), parts);
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor, "len={len} parts={parts}");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, len);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        let sizes: Vec<usize> = chunk_ranges(10, 3).map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn map_chunks_matches_sequential() {
+        let pool = Pool::new(3);
+        let data: Vec<u32> = (0..97).collect();
+        let partials = par_map_chunks(&pool, &data, 5, |_, chunk| chunk.iter().sum::<u32>());
+        assert_eq!(partials.len(), 5);
+        assert_eq!(partials.iter().sum::<u32>(), (0..97).sum::<u32>());
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let pool = Pool::new(4);
+        let data: Vec<u32> = (0..20).collect();
+        let firsts = par_map_chunks(&pool, &data, 4, |i, chunk| (i, chunk[0]));
+        assert_eq!(firsts, vec![(0, 0), (1, 5), (2, 10), (3, 15)]);
+    }
+
+    #[test]
+    fn map_chunks_handles_more_parts_than_elements() {
+        let pool = Pool::new(2);
+        let data = [1u8, 2];
+        let lens = par_map_chunks(&pool, &data, 5, |_, chunk| chunk.len());
+        assert_eq!(lens, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn map_chunks_mut_writes_in_place() {
+        let pool = Pool::new(3);
+        let mut data: Vec<u32> = (0..13).collect();
+        let counts = par_map_chunks_mut(&pool, &mut data, 4, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+            }
+            chunk.len()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 13);
+        assert_eq!(data, (0..13).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,166 @@
+//! Scoped job submission: jobs that may borrow from the caller's stack.
+//!
+//! The soundness argument mirrors `std::thread::scope` and the classic
+//! `scoped_threadpool` crate: a job closure with lifetime `'env` is
+//! transmuted to `'static` so it can ride the pool's injector channel, and
+//! `ScopeState::wait_all` blocks the owner of `'env` until every such job
+//! has run to completion (or panicked) — so no job can ever observe its
+//! borrows dangling.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::{Job, Pool};
+
+/// Shared bookkeeping between a [`Scope`] and its in-flight jobs.
+pub(crate) struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    pub(crate) fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn add(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    fn done(&self) {
+        let mut pending = self.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        // First panic wins; later ones are dropped (matching std scope).
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Blocks until every job spawned on this scope has completed.
+    pub(crate) fn wait_all(&self) {
+        let mut pending = self.pending.lock();
+        while *pending > 0 {
+            self.all_done.wait(&mut pending);
+        }
+    }
+
+    /// Re-raises the first recorded job panic, if any.
+    pub(crate) fn resume_panic(&self) {
+        if let Some(payload) = self.panic.lock().take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A handle for spawning borrowed jobs onto a [`Pool`].
+///
+/// Created by [`Pool::scope`]. The lifetime `'env` is the environment the
+/// jobs may borrow from; the scope guarantees all jobs finish before
+/// `Pool::scope` returns.
+pub struct Scope<'env, 'pool> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    // Invariant over 'env, mirroring std::thread::Scope: prevents the
+    // compiler from shrinking 'env to something shorter than the data the
+    // jobs actually borrow.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env, 'pool> Scope<'env, 'pool> {
+    pub(crate) fn new(pool: &'pool Pool, state: Arc<ScopeState>) -> Self {
+        Scope {
+            pool,
+            state,
+            _env: PhantomData,
+        }
+    }
+
+    /// Spawns `f` onto the pool. `f` may borrow anything that outlives the
+    /// scope's environment `'env`.
+    ///
+    /// Do **not** create a nested `Pool::scope` on the same pool from inside
+    /// a job and block on it: with all workers busy the nested scope's jobs
+    /// would queue behind the blocking job and deadlock. Nested scopes from
+    /// the *caller's* thread are fine.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.add();
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = outcome {
+                state.record_panic(payload);
+            }
+            state.done();
+        });
+        // SAFETY: `Pool::scope` calls `ScopeState::wait_all` before
+        // returning, so `wrapped` (and everything it borrows from `'env`)
+        // outlives its execution even though the channel requires 'static.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                wrapped,
+            )
+        };
+        self.pool.inject(job);
+    }
+
+    /// The pool this scope submits to.
+    pub fn pool(&self) -> &'pool Pool {
+        self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn borrows_are_observed_after_scope() {
+        let pool = Pool::new(4);
+        let mut results = vec![0usize; 8];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_jobs() {
+        let pool = Pool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    ran2.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("caller panics while job in flight");
+            });
+        }));
+        assert!(result.is_err());
+        // The job must have completed before scope unwound.
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

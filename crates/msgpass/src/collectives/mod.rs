@@ -1,0 +1,43 @@
+//! Collective operations over a [`crate::comm::Comm`].
+//!
+//! All collectives are implemented on top of the point-to-point layer with
+//! the textbook algorithms an MPI implementation uses:
+//!
+//! * [`barrier`](crate::comm::Comm::barrier) — dissemination barrier,
+//!   ⌈log₂ p⌉ rounds;
+//! * [`bcast`](crate::comm::Comm::bcast) — binomial tree;
+//! * [`gather`](crate::comm::Comm::gather) / allgather — binomial gather
+//!   (+ broadcast);
+//! * [`reduce`](crate::comm::Comm::reduce) — binomial tree for the binary
+//!   case, contiguous-block k-ary trees for larger branching factors, with
+//!   distinct combining schedules for commutative vs. non-commutative
+//!   operators (paper §1);
+//! * [`scan_inclusive`](crate::comm::Comm::scan_inclusive) /
+//!   [`scan_exclusive`](crate::comm::Comm::scan_exclusive) — a shifted
+//!   Hillis–Steele parallel prefix valid for any (also non-power-of-two)
+//!   rank count and any associative, possibly non-commutative operator;
+//! * [`alltoallv`](crate::comm::Comm::alltoallv) — rotated pairwise
+//!   exchange.
+//!
+//! Every collective must be called by all ranks of the communicator in the
+//! same order (MPI's usual rule). Combine closures always receive
+//! `(earlier, later)` in set order, making non-commutative operators safe.
+
+pub mod allreduce_rd;
+pub mod alltoall;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod reduce;
+pub mod scan;
+pub mod scatter;
+pub mod shift;
+
+use crate::message::{Tag, RESERVED_TAG_BASE};
+
+pub(crate) const TAG_BARRIER: Tag = RESERVED_TAG_BASE;
+pub(crate) const TAG_BCAST: Tag = RESERVED_TAG_BASE + 0x100;
+pub(crate) const TAG_GATHER: Tag = RESERVED_TAG_BASE + 0x200;
+pub(crate) const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 0x300;
+pub(crate) const TAG_SCAN: Tag = RESERVED_TAG_BASE + 0x400;
+pub(crate) const TAG_ALLTOALL: Tag = RESERVED_TAG_BASE + 0x500;

@@ -1,0 +1,239 @@
+//! Parallel-prefix scan collectives (Ladner–Fischer / Hillis–Steele style).
+//!
+//! The algorithm is a shifted recursive doubling valid for any rank count
+//! and any associative operator: in the round with distance `d`, rank `r`
+//! sends its current inclusive partial (covering ranks
+//! `max(0, r−d+1) ..= r`) to rank `r+d` and receives from `r−d` a partial
+//! covering `max(0, r−2d+1) ..= r−d` — elements strictly *earlier* than
+//! anything received before, so combines always run `(earlier, later)` and
+//! non-commutative operators are safe.
+//!
+//! Both the inclusive and exclusive results are produced in the same
+//! ⌈log₂ p⌉ rounds; the exclusive scan needs an identity supplier for rank
+//! 0, mirroring the paper's point that `LOCAL_XSCAN` requires the identity
+//! function while MPI instead leaves the first element undefined.
+
+use super::TAG_SCAN;
+use crate::comm::Comm;
+use crate::stats::CallKind;
+
+impl Comm {
+    /// Inclusive scan: rank `r` receives `v₀ ⊕ v₁ ⊕ ⋯ ⊕ v_r`.
+    pub fn scan_inclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Scan);
+        let _guard = self.enter_collective();
+        self.scan_impl(value, &bytes_of, combine).1
+    }
+
+    /// Exclusive scan: rank `r` receives `v₀ ⊕ ⋯ ⊕ v_{r−1}`; rank 0
+    /// receives `ident()`.
+    pub fn scan_exclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        ident: impl FnOnce() -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Exscan);
+        let _guard = self.enter_collective();
+        self.scan_impl(value, &bytes_of, combine)
+            .0
+            .unwrap_or_else(ident)
+    }
+
+    /// Both scans at once (one communication schedule): `(exclusive,
+    /// inclusive)`, with `None` as rank 0's exclusive part.
+    pub fn scan_both<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        self.stats().record_call(CallKind::Scan);
+        let _guard = self.enter_collective();
+        self.scan_impl(value, &bytes_of, combine)
+    }
+
+    /// Inclusive scan by a **linear chain**: rank `r` waits for rank
+    /// `r−1`'s prefix, combines, and forwards — O(p) sequential hops.
+    ///
+    /// This is the baseline the parallel-prefix algorithm (Ladner–Fischer,
+    /// the paper's foundation citation) replaces; it exists for the
+    /// `ablation_scan_algorithm` harness and for tests. Production code
+    /// should use [`scan_inclusive`](Self::scan_inclusive).
+    pub fn scan_inclusive_linear<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        mut combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Scan);
+        let _guard = self.enter_collective();
+        let p = self.size();
+        let r = self.rank();
+        let mut acc = value;
+        if r > 0 {
+            let earlier: T = self.recv(r - 1, TAG_SCAN);
+            acc = combine(earlier, acc);
+        }
+        if r + 1 < p {
+            let bytes = bytes_of(&acc);
+            self.send_with_bytes(r + 1, TAG_SCAN, acc.clone(), bytes);
+        }
+        acc
+    }
+
+    pub(crate) fn scan_impl<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: &impl Fn(&T) -> usize,
+        mut combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        let p = self.size();
+        let r = self.rank();
+        let mut inclusive = value;
+        let mut exclusive: Option<T> = None;
+        let mut dist = 1usize;
+        while dist < p {
+            if r + dist < p {
+                let bytes = bytes_of(&inclusive);
+                self.send_with_bytes(r + dist, TAG_SCAN, inclusive.clone(), bytes);
+            }
+            if r >= dist {
+                let earlier: T = self.recv(r - dist, TAG_SCAN);
+                exclusive = Some(match exclusive {
+                    None => earlier.clone(),
+                    Some(e) => combine(earlier.clone(), e),
+                });
+                inclusive = combine(earlier, inclusive);
+            }
+            dist <<= 1;
+        }
+        (exclusive, inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn inclusive_sum_scan_all_sizes() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let outcome = Runtime::new(p).run(|comm| {
+                comm.scan_inclusive(comm.rank() as u64 + 1, |_| 8, |a, b| a + b)
+            });
+            let expected: Vec<u64> = (1..=p as u64).scan(0, |s, x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+            assert_eq!(outcome.results, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn exclusive_sum_scan_has_identity_at_zero() {
+        for p in [1usize, 2, 6, 9] {
+            let outcome = Runtime::new(p).run(|comm| {
+                comm.scan_exclusive(comm.rank() as u64 + 1, || 0, |_| 8, |a, b| a + b)
+            });
+            let mut expected = vec![0u64];
+            for r in 1..p {
+                expected.push(expected[r - 1] + r as u64);
+            }
+            assert_eq!(outcome.results, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn scan_is_rank_order_for_noncommutative() {
+        for p in [2usize, 3, 7, 8, 11] {
+            let outcome = Runtime::new(p).run(|comm| {
+                comm.scan_inclusive(
+                    format!("<{}>", comm.rank()),
+                    |s: &String| s.len(),
+                    |a, b| a + &b,
+                )
+            });
+            for (r, got) in outcome.results.iter().enumerate() {
+                let expected: String = (0..=r).map(|i| format!("<{i}>")).collect();
+                assert_eq!(got, &expected, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_of_noncommutative() {
+        let outcome = Runtime::new(6).run(|comm| {
+            comm.scan_exclusive(
+                format!("<{}>", comm.rank()),
+                String::new,
+                |s: &String| s.len(),
+                |a, b| a + &b,
+            )
+        });
+        for (r, got) in outcome.results.iter().enumerate() {
+            let expected: String = (0..r).map(|i| format!("<{i}>")).collect();
+            assert_eq!(got, &expected, "r={r}");
+        }
+    }
+
+    #[test]
+    fn scan_both_agree_with_separate_calls() {
+        let outcome = Runtime::new(5).run(|comm| {
+            let (ex, inc) = comm.scan_both(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+            (ex.unwrap_or(0), inc)
+        });
+        for (r, (ex, inc)) in outcome.results.iter().enumerate() {
+            assert_eq!(*inc, *ex + r as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_prefix_scan() {
+        for p in [1usize, 2, 5, 9] {
+            let outcome = Runtime::new(p).run(|comm| {
+                let fast = comm.scan_inclusive(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                let slow =
+                    comm.scan_inclusive_linear(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                (fast, slow)
+            });
+            for (fast, slow) in outcome.results {
+                assert_eq!(fast, slow, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_scan_preserves_order_for_noncommutative() {
+        let outcome = Runtime::new(5).run(|comm| {
+            comm.scan_inclusive_linear(
+                format!("<{}>", comm.rank()),
+                |s: &String| s.len(),
+                |a, b| a + &b,
+            )
+        });
+        for (r, got) in outcome.results.iter().enumerate() {
+            let expected: String = (0..=r).map(|i| format!("<{i}>")).collect();
+            assert_eq!(got, &expected);
+        }
+    }
+
+    #[test]
+    fn scan_uses_logarithmic_rounds() {
+        let outcome = Runtime::new(16).run(|comm| {
+            comm.scan_inclusive(1u64, |_| 8, |a, b| a + b);
+        });
+        // Shifted recursive doubling with p=16: 4 rounds, each rank sends
+        // at most one message per round → at most 4·16 messages (fewer at
+        // the edges), far below the p² of a naive approach.
+        assert!(outcome.stats.messages <= 64, "messages={}", outcome.stats.messages);
+        assert!(outcome.stats.messages >= 15);
+    }
+}

@@ -1,0 +1,338 @@
+//! The communicator: rank identity, point-to-point messaging, the virtual
+//! clock, and communicator management (`split`/`dup`).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::mailbox::{Mailbox, Source};
+use crate::message::{Packet, Tag};
+use crate::stats::{CallKind, Stats};
+
+/// Identifier of the world communicator.
+pub const WORLD_ID: u64 = 0;
+
+/// Shared, cross-rank agreement on ids for derived communicators.
+///
+/// Every member of a `split`/`dup` looks up the same `(parent, color)` key
+/// and therefore receives the same child id, without extra communication.
+#[derive(Debug, Default)]
+pub(crate) struct SplitRegistry {
+    ids: Mutex<HashMap<(u64, i64), u64>>,
+    next: AtomicU64,
+}
+
+impl SplitRegistry {
+    pub(crate) fn new() -> Self {
+        SplitRegistry {
+            ids: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(WORLD_ID + 1),
+        }
+    }
+
+    fn id_for(&self, parent: u64, color: i64) -> u64 {
+        *self
+            .ids
+            .lock()
+            .entry((parent, color))
+            .or_insert_with(|| self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// State shared by all communicators of one rank thread.
+pub(crate) struct RankCore {
+    pub(crate) mailbox: RefCell<Mailbox>,
+    pub(crate) clock: Cell<f64>,
+    pub(crate) cost: CostModel,
+    pub(crate) stats: Arc<Stats>,
+    pub(crate) registry: Arc<SplitRegistry>,
+    pub(crate) aborted: Arc<AtomicBool>,
+    /// Collective nesting depth: wire sends issued inside a collective are
+    /// not *user* send calls (an MPI trace would not show them either), so
+    /// `CallKind::Send` is only recorded at depth 0.
+    pub(crate) collective_depth: Cell<u32>,
+}
+
+/// RAII marker for "this rank is inside a collective".
+pub(crate) struct CollectiveGuard<'a>(&'a RankCore);
+
+impl Drop for CollectiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.collective_depth.set(self.0.collective_depth.get() - 1);
+    }
+}
+
+/// A communicator handle, owned by exactly one rank thread.
+///
+/// All methods take `&self`; a communicator is neither `Send` nor `Sync`
+/// (it is the per-rank endpoint, not the group). Point-to-point messages
+/// move owned values — the in-process stand-in for MPI's typed buffers.
+pub struct Comm {
+    id: u64,
+    rank: usize,
+    /// Senders to every member, indexed by rank *within this communicator*.
+    peers: Vec<Sender<Packet>>,
+    core: Rc<RankCore>,
+    /// Number of `dup`s performed on this communicator (for id agreement).
+    dups: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn new_world(
+        rank: usize,
+        peers: Vec<Sender<Packet>>,
+        mailbox: Mailbox,
+        cost: CostModel,
+        stats: Arc<Stats>,
+        registry: Arc<SplitRegistry>,
+        aborted: Arc<AtomicBool>,
+    ) -> Self {
+        Comm {
+            id: WORLD_ID,
+            rank,
+            peers,
+            core: Rc::new(RankCore {
+                mailbox: RefCell::new(mailbox),
+                clock: Cell::new(0.0),
+                cost,
+                stats,
+                registry,
+                aborted,
+                collective_depth: Cell::new(0),
+            }),
+            dups: Cell::new(0),
+        }
+    }
+
+    /// Marks this rank as inside a collective until the guard drops.
+    pub(crate) fn enter_collective(&self) -> CollectiveGuard<'_> {
+        self.core
+            .collective_depth
+            .set(self.core.collective_depth.get() + 1);
+        CollectiveGuard(&self.core)
+    }
+
+    /// This rank's index within the communicator, `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The communicator's id (0 for the world communicator).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.core.cost
+    }
+
+    /// The shared statistics counters.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual clock
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of this rank, in modeled seconds.
+    pub fn now(&self) -> f64 {
+        self.core.clock.get()
+    }
+
+    /// Charges `ops` abstract compute operations to this rank's clock.
+    pub fn advance(&self, ops: u64) {
+        let c = &self.core.clock;
+        c.set(c.get() + self.core.cost.compute(ops));
+    }
+
+    /// Raises the clock to at least `t` (message availability).
+    pub(crate) fn bump_clock_to(&self, t: f64) {
+        if t > self.core.clock.get() {
+            self.core.clock.set(t);
+        }
+    }
+
+    fn charge_overhead(&self) {
+        // Half the latency is CPU overhead on each side (LogP's `o`), so
+        // fanning out p messages costs the sender p·α/2 — what makes
+        // log-trees beat flat fan-out in the model, as on real networks.
+        let c = &self.core.clock;
+        c.set(c.get() + self.core.cost.alpha / 2.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `value` to `dst` with `tag`, modeling `bytes` wire bytes.
+    ///
+    /// Prefer [`send`](Self::send) unless the payload owns heap storage
+    /// whose size `size_of::<T>()` does not reflect.
+    pub fn send_with_bytes<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T, bytes: usize) {
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
+        self.charge_overhead();
+        if self.core.collective_depth.get() == 0 {
+            self.core.stats.record_call(CallKind::Send);
+        }
+        self.core.stats.record_message(bytes);
+        let packet = Packet {
+            comm_id: self.id,
+            src: self.rank,
+            tag,
+            sent_at: self.now(),
+            bytes,
+            payload: Box::new(value),
+        };
+        // A full mailbox channel cannot happen (unbounded); a disconnect
+        // means the destination thread is gone, which the abort flag turns
+        // into a clean panic at the blocked receivers instead.
+        let _ = self.peers[dst].send(packet);
+    }
+
+    /// Sends `value` to `dst` with `tag`; wire size is `size_of::<T>()`.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        let bytes = std::mem::size_of::<T>();
+        self.send_with_bytes(dst, tag, value, bytes);
+    }
+
+    /// Sends a slice-backed vector, modeling `len · size_of::<T>()` bytes.
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, value: Vec<T>) {
+        let bytes = value.len() * std::mem::size_of::<T>();
+        self.send_with_bytes(dst, tag, value, bytes);
+    }
+
+    /// Receives a `T` matching `(src, tag)`, advancing the clock to the
+    /// message's modeled availability. Returns the value, the actual
+    /// source rank, and the availability time.
+    pub fn recv_meta<T: 'static>(&self, src: Source, tag: Tag) -> (T, usize, f64) {
+        let packet = self.core.mailbox.borrow_mut().recv_or_abort(
+            self.id,
+            src,
+            tag,
+            &self.core.aborted,
+        );
+        let available_at = packet.sent_at + self.core.cost.alpha / 2.0
+            + self.core.cost.beta * packet.bytes as f64;
+        self.charge_overhead();
+        self.bump_clock_to(available_at);
+        let from = packet.src;
+        let value = downcast_payload::<T>(packet.payload, self.id, from, tag);
+        (value, from, available_at)
+    }
+
+    /// Receives a `T` from `src` with `tag`.
+    pub fn recv<T: 'static>(&self, src: usize, tag: Tag) -> T {
+        self.recv_meta(Source::Rank(src), tag).0
+    }
+
+    /// Receives a `T` matching `(src, tag)` **without** advancing the
+    /// clock to the message's availability time; the receive CPU overhead
+    /// is still charged. Returns `(value, available_at)`.
+    ///
+    /// Used by collectives that model processing several arrivals in a
+    /// chosen order (e.g. availability order for commutative reductions):
+    /// the caller bumps the clock per processed message.
+    pub(crate) fn recv_deferred<T: 'static>(&self, src: Source, tag: Tag) -> (T, f64) {
+        let packet = self.core.mailbox.borrow_mut().recv_or_abort(
+            self.id,
+            src,
+            tag,
+            &self.core.aborted,
+        );
+        let available_at = packet.sent_at + self.core.cost.alpha / 2.0
+            + self.core.cost.beta * packet.bytes as f64;
+        self.charge_overhead();
+        let from = packet.src;
+        let value = downcast_payload::<T>(packet.payload, self.id, from, tag);
+        (value, available_at)
+    }
+
+    /// Receives a `T` with `tag` from any source; returns `(value, src)`.
+    pub fn recv_any<T: 'static>(&self, tag: Tag) -> (T, usize) {
+        let (value, src, _) = self.recv_meta(Source::Any, tag);
+        (value, src)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived communicators
+    // ------------------------------------------------------------------
+
+    /// Partitions the communicator: ranks passing the same `color` form a
+    /// new communicator, ordered by `(key, old rank)`. Returns this rank's
+    /// handle in its new group. `color` must be non-negative.
+    ///
+    /// Collective over the parent communicator.
+    pub fn split(&self, color: i64, key: i64) -> Comm {
+        assert!(color >= 0, "split colors must be non-negative");
+        let members = self.allgather((color, key, self.rank));
+        let mut group: Vec<(i64, usize)> = members
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (*k, *r))
+            .collect();
+        group.sort_unstable();
+        let new_rank = group
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("own rank missing from split group");
+        let peers = group
+            .iter()
+            .map(|&(_, r)| self.peers[r].clone())
+            .collect();
+        Comm {
+            id: self.core.registry.id_for(self.id, color),
+            rank: new_rank,
+            peers,
+            core: Rc::clone(&self.core),
+            dups: Cell::new(0),
+        }
+    }
+
+    /// Duplicates the communicator: same group, fresh message space.
+    ///
+    /// Collective; every member must call `dup` the same number of times
+    /// in the same order.
+    pub fn dup(&self) -> Comm {
+        let n = self.dups.get();
+        self.dups.set(n + 1);
+        // Negative colors are reserved for dup id agreement.
+        let id = self.core.registry.id_for(self.id, -1 - n as i64);
+        Comm {
+            id,
+            rank: self.rank,
+            peers: self.peers.clone(),
+            core: Rc::clone(&self.core),
+            dups: Cell::new(0),
+        }
+    }
+}
+
+fn downcast_payload<T: 'static>(
+    payload: Box<dyn Any + Send>,
+    comm: u64,
+    src: usize,
+    tag: Tag,
+) -> T {
+    match payload.downcast::<T>() {
+        Ok(v) => *v,
+        Err(_) => panic!(
+            "type mismatch receiving on comm {comm} from rank {src} tag {tag}: \
+             expected {}",
+            std::any::type_name::<T>()
+        ),
+    }
+}

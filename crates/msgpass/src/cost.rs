@@ -1,0 +1,98 @@
+//! The virtual-clock communication cost model.
+//!
+//! This container has a single CPU, so rank threads cannot exhibit real
+//! parallel speedup; the paper's Figures 2–3, however, plot speedup on up
+//! to 736 processors. The substitution (documented in DESIGN.md) is a
+//! classic α–β/LogP-style model evaluated *during* real execution:
+//!
+//! * every rank carries a virtual clock (seconds, starting at 0);
+//! * local compute advances the clock by `gamma` per abstract operation
+//!   ([`crate::comm::Comm::advance`]);
+//! * a message of `b` bytes sent at sender-time `t` becomes *receivable*
+//!   at `t + alpha + beta·b`; receiving sets the receiver's clock to at
+//!   least that (Lamport-style max).
+//!
+//! The modeled elapsed time of a phase is the maximum clock advance over
+//! all ranks, which captures exactly what the figures depend on: message
+//! counts and sizes on the critical path, and the serial fraction of
+//! compute.
+
+/// Parameters of the α–β–γ cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency in seconds (MPI short-message latency).
+    pub alpha: f64,
+    /// Per-byte transfer time in seconds (inverse bandwidth).
+    pub beta: f64,
+    /// Per-abstract-operation compute time in seconds.
+    pub gamma: f64,
+}
+
+impl CostModel {
+    /// A model loosely calibrated to the paper's testbed era (IBM P655,
+    /// Federation-class interconnect): ~5 µs latency, ~1 GB/s bandwidth,
+    /// ~1 ns per scalar operation.
+    pub const fn cluster_2006() -> Self {
+        CostModel {
+            alpha: 5.0e-6,
+            beta: 1.0e-9,
+            gamma: 1.0e-9,
+        }
+    }
+
+    /// A zero-cost model: clocks never move. Useful in tests that only
+    /// check values.
+    pub const fn free() -> Self {
+        CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// Transit time of a `bytes`-byte message.
+    #[inline]
+    pub fn transit(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Compute time of `ops` abstract operations.
+    #[inline]
+    pub fn compute(&self, ops: u64) -> f64 {
+        self.gamma * ops as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::cluster_2006()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_combines_latency_and_bandwidth() {
+        let m = CostModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 0.0,
+        };
+        let t = m.transit(1000);
+        assert!((t - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.transit(1 << 20), 0.0);
+        assert_eq!(m.compute(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn default_is_cluster_2006() {
+        assert_eq!(CostModel::default(), CostModel::cluster_2006());
+    }
+}

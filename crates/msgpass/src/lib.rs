@@ -1,0 +1,43 @@
+//! # gv-msgpass — an MPI-like message-passing runtime
+//!
+//! The paper's RSMPI layer targets MPI; this crate is the from-scratch
+//! substitute (see the substitution table in DESIGN.md). Ranks are OS
+//! threads, point-to-point messages move owned values through mailboxes
+//! with MPI-style `(communicator, source, tag)` matching, and the
+//! collectives are the textbook algorithms (binomial trees, dissemination
+//! barrier, shifted recursive-doubling scans, pairwise all-to-all).
+//!
+//! Because the host may have few cores, the runtime additionally carries a
+//! **virtual-clock cost model** ([`CostModel`]): every rank accumulates
+//! modeled time for its compute ([`Comm::advance`]) and message traffic,
+//! and [`RunOutcome::modeled_seconds`] reports the modeled parallel
+//! elapsed time — the quantity the paper's speedup figures plot.
+//!
+//! ```
+//! use gv_msgpass::{Runtime, localview};
+//!
+//! // 8 "processors", each contributing one value to a local-view
+//! // reduction (paper §2).
+//! let outcome = Runtime::new(8).run(|comm| {
+//!     localview::local_allreduce(comm, comm.rank() as u64 + 1, |a, b| a + b)
+//! });
+//! assert_eq!(outcome.results, vec![36; 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod localview;
+mod mailbox;
+mod message;
+pub mod runtime;
+pub mod stats;
+
+pub use comm::Comm;
+pub use cost::CostModel;
+pub use mailbox::Source;
+pub use message::{Tag, RESERVED_TAG_BASE};
+pub use runtime::{RunOutcome, Runtime};
+pub use stats::{CallKind, Stats, StatsSnapshot};

@@ -1,0 +1,191 @@
+//! Per-rank mailbox with MPI-style `(communicator, source, tag)` matching.
+//!
+//! Each rank owns one mailbox fed by a single MPSC channel. `recv` first
+//! scans messages that arrived earlier but did not match (the *pending*
+//! queue), then blocks on the channel, stashing non-matching arrivals.
+//! Within one `(comm, source, tag)` triple this preserves arrival order —
+//! MPI's non-overtaking guarantee.
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::message::{Packet, Tag};
+
+/// Source selector for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match only messages from this rank.
+    Rank(usize),
+    /// Match messages from any rank (MPI_ANY_SOURCE).
+    Any,
+}
+
+pub(crate) struct Mailbox {
+    incoming: Receiver<Packet>,
+    pending: Vec<Packet>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(incoming: Receiver<Packet>) -> Self {
+        Mailbox {
+            incoming,
+            pending: Vec::new(),
+        }
+    }
+
+    fn matches(packet: &Packet, comm_id: u64, src: Source, tag: Tag) -> bool {
+        packet.comm_id == comm_id
+            && packet.tag == tag
+            && match src {
+                Source::Rank(r) => packet.src == r,
+                Source::Any => true,
+            }
+    }
+
+    /// Blocks until a packet matching `(comm_id, src, tag)` is available
+    /// and returns it.
+    ///
+    /// # Panics
+    /// Panics if the channel disconnects while waiting (peer ranks exited
+    /// without sending — a deadlock-turned-error).
+    #[cfg_attr(not(test), allow(dead_code))] // comm uses recv_or_abort
+    pub(crate) fn recv(&mut self, comm_id: u64, src: Source, tag: Tag) -> Packet {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|p| Self::matches(p, comm_id, src, tag))
+        {
+            return self.pending.remove(i);
+        }
+        loop {
+            let packet = self.incoming.recv().unwrap_or_else(|_| {
+                panic!(
+                    "recv(comm={comm_id}, src={src:?}, tag={tag}) \
+                     waiting on a message that can no longer arrive"
+                )
+            });
+            if Self::matches(&packet, comm_id, src, tag) {
+                return packet;
+            }
+            self.pending.push(packet);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but periodically checks `aborted`; if a
+    /// peer rank has panicked, this turns the would-be deadlock into a
+    /// clean panic that lets the runtime unwind every rank.
+    pub(crate) fn recv_or_abort(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        aborted: &std::sync::atomic::AtomicBool,
+    ) -> Packet {
+        use std::sync::atomic::Ordering;
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|p| Self::matches(p, comm_id, src, tag))
+        {
+            return self.pending.remove(i);
+        }
+        loop {
+            match self
+                .incoming
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(packet) => {
+                    if Self::matches(&packet, comm_id, src, tag) {
+                        return packet;
+                    }
+                    self.pending.push(packet);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if aborted.load(Ordering::Relaxed) {
+                        panic!(
+                            "rank aborted while waiting for (comm={comm_id}, \
+                             src={src:?}, tag={tag}): a peer rank panicked"
+                        );
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => panic!(
+                    "recv(comm={comm_id}, src={src:?}, tag={tag}) \
+                     waiting on a message that can no longer arrive"
+                ),
+            }
+        }
+    }
+}
+
+/// Builds `p` connected mailboxes and the sender handles addressing them.
+pub(crate) fn build_mailboxes(p: usize) -> (Vec<Mailbox>, Vec<Sender<Packet>>) {
+    let mut boxes = Vec::with_capacity(p);
+    let mut senders = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        boxes.push(Mailbox::new(rx));
+        senders.push(tx);
+    }
+    (boxes, senders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(comm_id: u64, src: usize, tag: Tag, value: i32) -> Packet {
+        Packet {
+            comm_id,
+            src,
+            tag,
+            sent_at: 0.0,
+            bytes: 4,
+            payload: Box::new(value),
+        }
+    }
+
+    #[test]
+    fn matching_by_source_and_tag() {
+        let (mut boxes, senders) = build_mailboxes(1);
+        senders[0].send(packet(0, 1, 7, 10)).unwrap();
+        senders[0].send(packet(0, 2, 7, 20)).unwrap();
+        senders[0].send(packet(0, 1, 9, 30)).unwrap();
+        let m = boxes[0].recv(0, Source::Rank(2), 7);
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 20);
+        let m = boxes[0].recv(0, Source::Rank(1), 9);
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 30);
+        let m = boxes[0].recv(0, Source::Rank(1), 7);
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 10);
+    }
+
+    #[test]
+    fn any_source_takes_earliest_pending() {
+        let (mut boxes, senders) = build_mailboxes(1);
+        senders[0].send(packet(0, 3, 1, 1)).unwrap();
+        senders[0].send(packet(0, 4, 1, 2)).unwrap();
+        let m = boxes[0].recv(0, Source::Any, 1);
+        assert_eq!(m.src, 3);
+    }
+
+    #[test]
+    fn non_overtaking_within_same_triple() {
+        let (mut boxes, senders) = build_mailboxes(1);
+        for v in 0..5 {
+            senders[0].send(packet(0, 1, 7, v)).unwrap();
+        }
+        for v in 0..5 {
+            let m = boxes[0].recv(0, Source::Rank(1), 7);
+            assert_eq!(*m.payload.downcast::<i32>().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn communicator_ids_do_not_cross_talk() {
+        let (mut boxes, senders) = build_mailboxes(1);
+        senders[0].send(packet(5, 1, 7, 50)).unwrap();
+        senders[0].send(packet(6, 1, 7, 60)).unwrap();
+        let m = boxes[0].recv(6, Source::Rank(1), 7);
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 60);
+        let m = boxes[0].recv(5, Source::Rank(1), 7);
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 50);
+    }
+}

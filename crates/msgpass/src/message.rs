@@ -1,0 +1,42 @@
+//! Wire format of the in-process transport.
+//!
+//! Ranks are threads, so a "message" is an owned value moved through a
+//! channel — no serialization. The envelope carries MPI-style matching
+//! metadata (communicator id, source, tag) plus the cost-model timestamp.
+
+use std::any::Any;
+
+/// Message tag, as in MPI. The runtime reserves tags ≥ [`RESERVED_TAG_BASE`]
+/// for collectives; user point-to-point traffic should stay below it.
+pub type Tag = u32;
+
+/// First tag reserved for internal collective protocols.
+pub const RESERVED_TAG_BASE: Tag = 0xF000_0000;
+
+/// A message envelope.
+pub(crate) struct Packet {
+    /// Id of the communicator this packet belongs to.
+    pub comm_id: u64,
+    /// Sender's rank *within that communicator*.
+    pub src: usize,
+    /// Matching tag.
+    pub tag: Tag,
+    /// Sender's virtual clock at the moment of sending.
+    pub sent_at: f64,
+    /// Modeled wire size in bytes.
+    pub bytes: usize,
+    /// The moved value.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("comm_id", &self.comm_id)
+            .field("src", &self.src)
+            .field("tag", &self.tag)
+            .field("sent_at", &self.sent_at)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,260 @@
+//! The runtime: spawns one thread per rank and runs an SPMD closure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::comm::{Comm, SplitRegistry};
+use crate::cost::CostModel;
+use crate::mailbox::build_mailboxes;
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Configures and launches an SPMD run.
+///
+/// ```
+/// use gv_msgpass::Runtime;
+///
+/// let outcome = Runtime::new(4).run(|comm| {
+///     comm.allreduce(comm.rank() as u64, |_| 8, |a, b| a + b)
+/// });
+/// assert_eq!(outcome.results, vec![6, 6, 6, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    ranks: usize,
+    cost: CostModel,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Maximum final virtual clock over all ranks — the modeled elapsed
+    /// time of the whole run under the cost model (see `cost` module docs
+    /// and the substitution table in DESIGN.md).
+    pub modeled_seconds: f64,
+    /// Per-rank final virtual clocks.
+    pub rank_clocks: Vec<f64>,
+    /// Communication statistics accumulated across all ranks.
+    pub stats: StatsSnapshot,
+    /// Real wall-clock duration of the run (all ranks share this host's
+    /// CPUs, so this is *not* the parallel time — that is
+    /// [`modeled_seconds`](Self::modeled_seconds)).
+    pub wall: Duration,
+}
+
+impl Runtime {
+    /// A runtime with `ranks` ranks and the default cost model.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks >= 1, "a runtime needs at least one rank");
+        Runtime {
+            ranks,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The configured rank count.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Runs `f` once per rank (as an OS thread) and collects the results
+    /// in rank order.
+    ///
+    /// If any rank panics, every other rank is aborted (blocked receives
+    /// turn into panics) and the first panic is propagated to the caller.
+    pub fn run<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        let p = self.ranks;
+        let (mailboxes, senders) = build_mailboxes(p);
+        let stats = Arc::new(Stats::new());
+        let registry = Arc::new(SplitRegistry::new());
+        let aborted = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        let mut slots: Vec<Option<(R, f64)>> = Vec::with_capacity(p);
+        slots.resize_with(p, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (mailbox, slot)) in mailboxes.into_iter().zip(slots.iter_mut()).enumerate()
+            {
+                let senders = senders.clone();
+                let stats = Arc::clone(&stats);
+                let registry = Arc::clone(&registry);
+                let aborted = Arc::clone(&aborted);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("gv-rank-{rank}"))
+                    .spawn_scoped(scope, move || {
+                        let comm = Comm::new_world(
+                            rank,
+                            senders,
+                            mailbox,
+                            self.cost,
+                            stats,
+                            registry,
+                            Arc::clone(&aborted),
+                        );
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&comm),
+                        ));
+                        match outcome {
+                            Ok(value) => {
+                                *slot = Some((value, comm.now()));
+                                Ok(())
+                            }
+                            Err(payload) => {
+                                // Wake peers blocked on us so the whole run
+                                // unwinds instead of deadlocking.
+                                aborted.store(true, Ordering::Relaxed);
+                                Err(payload)
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            let mut first_panic = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(payload)) | Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        let wall = started.elapsed();
+        let mut results = Vec::with_capacity(p);
+        let mut rank_clocks = Vec::with_capacity(p);
+        for slot in slots {
+            let (value, clock) = slot.expect("rank finished without a result");
+            results.push(value);
+            rank_clocks.push(clock);
+        }
+        let modeled_seconds = rank_clocks.iter().cloned().fold(0.0, f64::max);
+        RunOutcome {
+            results,
+            modeled_seconds,
+            rank_clocks,
+            stats: stats.snapshot(),
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let outcome = Runtime::new(6).run(|comm| comm.rank() * comm.size());
+        assert_eq!(outcome.results, vec![0, 6, 12, 18, 24, 30]);
+    }
+
+    #[test]
+    fn single_rank_run() {
+        let outcome = Runtime::new(1).run(|comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.allgather(5u8)
+        });
+        assert_eq!(outcome.results, vec![vec![5u8]]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let outcome = Runtime::new(4).run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, comm.rank() as u32);
+            comm.recv::<u32>(prev, 1)
+        });
+        assert_eq!(outcome.results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn modeled_time_reflects_critical_path() {
+        let outcome = Runtime::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.advance(1000); // 1 µs of compute at default γ
+                comm.send(1, 9, 42u8);
+            } else {
+                let v: u8 = comm.recv(0, 9);
+                assert_eq!(v, 42);
+            }
+        });
+        // Rank 1's clock ≥ rank 0's compute + one message latency.
+        assert!(outcome.modeled_seconds >= 1.0e-6 + 5.0e-6);
+        assert!(outcome.modeled_seconds < 1.0e-4);
+    }
+
+    #[test]
+    fn rank_panic_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            Runtime::new(3).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                // Other ranks block on a message that will never come.
+                let _: u8 = comm.recv(1, 5);
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn split_builds_disjoint_communicators() {
+        let outcome = Runtime::new(6).run(|comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64);
+            let total = sub.allreduce(comm.rank() as u64, |_| 8, |a, b| a + b);
+            (sub.rank(), sub.size(), total)
+        });
+        // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
+        assert_eq!(outcome.results[0], (0, 3, 6));
+        assert_eq!(outcome.results[1], (0, 3, 9));
+        assert_eq!(outcome.results[4], (2, 3, 6));
+        assert_eq!(outcome.results[5], (2, 3, 9));
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        let outcome = Runtime::new(2).run(|comm| {
+            let dup = comm.dup();
+            // Same (src, tag) on both communicators; matching must respect
+            // the communicator id.
+            if comm.rank() == 0 {
+                comm.send(1, 7, 100u32);
+                dup.send(1, 7, 200u32);
+                0
+            } else {
+                let on_dup: u32 = dup.recv(0, 7);
+                let on_world: u32 = comm.recv(0, 7);
+                assert_eq!(on_dup, 200);
+                assert_eq!(on_world, 100);
+                1
+            }
+        });
+        assert_eq!(outcome.results, vec![0, 1]);
+    }
+}

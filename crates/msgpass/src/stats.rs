@@ -1,0 +1,216 @@
+//! Traffic and call statistics, shared by all ranks of a runtime.
+//!
+//! These counters back two of the reproduced results: the `mpi_call_stats`
+//! harness (experiment TXT-NPB: what fraction of communication calls are
+//! reductions) and the message/byte accounting behind the Figure 2/3
+//! discussion ("the reduction requires larger messages … the MPI version
+//! requires an initial message to be passed between neighboring
+//! processors").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kinds of communication operations the runtime counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CallKind {
+    /// Point-to-point send (counted on the sender).
+    Send,
+    /// Barrier collective.
+    Barrier,
+    /// Broadcast collective.
+    Bcast,
+    /// Gather collective.
+    Gather,
+    /// Scatter collective.
+    Scatter,
+    /// Allgather collective.
+    Allgather,
+    /// Reduce-to-root collective.
+    Reduce,
+    /// Allreduce collective.
+    Allreduce,
+    /// Inclusive scan collective.
+    Scan,
+    /// Exclusive scan collective.
+    Exscan,
+    /// Personalized all-to-all exchange.
+    Alltoallv,
+}
+
+impl CallKind {
+    /// All kinds, for iteration and display.
+    pub const ALL: [CallKind; 11] = [
+        CallKind::Send,
+        CallKind::Barrier,
+        CallKind::Bcast,
+        CallKind::Gather,
+        CallKind::Scatter,
+        CallKind::Allgather,
+        CallKind::Reduce,
+        CallKind::Allreduce,
+        CallKind::Scan,
+        CallKind::Exscan,
+        CallKind::Alltoallv,
+    ];
+
+    /// Whether this kind is a reduction or scan in the sense of the
+    /// paper's "nearly 9% of the MPI calls are reductions" statistic.
+    pub fn is_reduction_or_scan(self) -> bool {
+        matches!(
+            self,
+            CallKind::Reduce | CallKind::Allreduce | CallKind::Scan | CallKind::Exscan
+        )
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CallKind::Send => "send",
+            CallKind::Barrier => "barrier",
+            CallKind::Bcast => "bcast",
+            CallKind::Gather => "gather",
+            CallKind::Scatter => "scatter",
+            CallKind::Allgather => "allgather",
+            CallKind::Reduce => "reduce",
+            CallKind::Allreduce => "allreduce",
+            CallKind::Scan => "scan",
+            CallKind::Exscan => "exscan",
+            CallKind::Alltoallv => "alltoallv",
+        }
+    }
+}
+
+const KINDS: usize = CallKind::ALL.len();
+
+/// Lock-free counters shared by every rank of a runtime.
+#[derive(Debug, Default)]
+pub struct Stats {
+    calls: [AtomicU64; KINDS],
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call of `kind` (collectives are counted once per rank
+    /// per call, like an MPI trace would).
+    pub fn record_call(&self, kind: CallKind) {
+        self.calls[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wire message of `bytes` bytes.
+    pub fn record_message(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (counters are monotone).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut calls = [0u64; KINDS];
+        for (slot, counter) in calls.iter_mut().zip(&self.calls) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            calls,
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    calls: [u64; KINDS],
+    /// Total wire messages.
+    pub messages: u64,
+    /// Total wire bytes.
+    pub bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Number of calls of `kind`.
+    pub fn calls(&self, kind: CallKind) -> u64 {
+        self.calls[kind as usize]
+    }
+
+    /// Total calls across all kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+
+    /// Total communication calls excluding raw sends (i.e. collectives),
+    /// the denominator for the TXT-NPB statistic.
+    pub fn collective_calls(&self) -> u64 {
+        self.total_calls() - self.calls(CallKind::Send)
+    }
+
+    /// Calls that are reductions or scans.
+    pub fn reduction_calls(&self) -> u64 {
+        CallKind::ALL
+            .iter()
+            .filter(|k| k.is_reduction_or_scan())
+            .map(|&k| self.calls(k))
+            .sum()
+    }
+
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut calls = [0u64; KINDS];
+        for (slot, (now, then)) in calls.iter_mut().zip(self.calls.iter().zip(&earlier.calls)) {
+            *slot = now - then;
+        }
+        StatsSnapshot {
+            calls,
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = Stats::new();
+        stats.record_call(CallKind::Allreduce);
+        stats.record_call(CallKind::Allreduce);
+        stats.record_call(CallKind::Bcast);
+        stats.record_message(64);
+        stats.record_message(100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.calls(CallKind::Allreduce), 2);
+        assert_eq!(snap.calls(CallKind::Bcast), 1);
+        assert_eq!(snap.total_calls(), 3);
+        assert_eq!(snap.reduction_calls(), 2);
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.bytes, 164);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let stats = Stats::new();
+        stats.record_call(CallKind::Reduce);
+        let before = stats.snapshot();
+        stats.record_call(CallKind::Reduce);
+        stats.record_message(8);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.calls(CallKind::Reduce), 1);
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 8);
+    }
+
+    #[test]
+    fn reduction_classification() {
+        assert!(CallKind::Scan.is_reduction_or_scan());
+        assert!(CallKind::Exscan.is_reduction_or_scan());
+        assert!(!CallKind::Bcast.is_reduction_or_scan());
+        assert!(!CallKind::Send.is_reduction_or_scan());
+    }
+}

@@ -1,0 +1,217 @@
+//! NAS problem classes for the two kernels the paper evaluates.
+//!
+//! The paper's Figures 2–3 use classes A, B and C on a 92-node IBM P655.
+//! All classes are implemented; because this reproduction runs on one
+//! container, the figure harnesses default to the *scaled* classes below
+//! (same per-class ratios, smaller absolute sizes) and accept the full
+//! classes via a flag. See DESIGN.md's substitution table.
+
+/// An IS (Integer Sort) problem class: number of keys and key range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsClass {
+    /// Class label (e.g. "A", "A/16").
+    pub name: &'static str,
+    /// log2 of the total number of keys.
+    pub total_keys_log2: u32,
+    /// log2 of the key range (keys are in `0..2^max_key_log2`).
+    pub max_key_log2: u32,
+}
+
+impl IsClass {
+    /// NAS class S: 2^16 keys in 0..2^11.
+    pub const S: IsClass = IsClass {
+        name: "S",
+        total_keys_log2: 16,
+        max_key_log2: 11,
+    };
+    /// NAS class W: 2^20 keys in 0..2^16.
+    pub const W: IsClass = IsClass {
+        name: "W",
+        total_keys_log2: 20,
+        max_key_log2: 16,
+    };
+    /// NAS class A: 2^23 keys in 0..2^19.
+    pub const A: IsClass = IsClass {
+        name: "A",
+        total_keys_log2: 23,
+        max_key_log2: 19,
+    };
+    /// NAS class B: 2^25 keys in 0..2^21.
+    pub const B: IsClass = IsClass {
+        name: "B",
+        total_keys_log2: 25,
+        max_key_log2: 21,
+    };
+    /// NAS class C: 2^27 keys in 0..2^23.
+    pub const C: IsClass = IsClass {
+        name: "C",
+        total_keys_log2: 27,
+        max_key_log2: 23,
+    };
+
+    /// Scaled stand-ins for A/B/C that keep the 4× key-count ratio between
+    /// consecutive classes but fit a single container (2^18 / 2^20 / 2^22
+    /// keys).
+    pub const A_SCALED: IsClass = IsClass {
+        name: "A/32",
+        total_keys_log2: 18,
+        max_key_log2: 14,
+    };
+    /// Scaled class B stand-in.
+    pub const B_SCALED: IsClass = IsClass {
+        name: "B/32",
+        total_keys_log2: 20,
+        max_key_log2: 16,
+    };
+    /// Scaled class C stand-in.
+    pub const C_SCALED: IsClass = IsClass {
+        name: "C/32",
+        total_keys_log2: 22,
+        max_key_log2: 18,
+    };
+
+    /// Total number of keys.
+    pub fn total_keys(&self) -> usize {
+        1usize << self.total_keys_log2
+    }
+
+    /// Exclusive upper bound of the key range.
+    pub fn max_key(&self) -> u32 {
+        1u32 << self.max_key_log2
+    }
+
+    /// Looks a class up by name (full or scaled).
+    pub fn by_name(name: &str) -> Option<IsClass> {
+        [
+            Self::S,
+            Self::W,
+            Self::A,
+            Self::B,
+            Self::C,
+            Self::A_SCALED,
+            Self::B_SCALED,
+            Self::C_SCALED,
+        ]
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// An MG problem class: cubic grid edge and V-cycle iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MgClass {
+    /// Class label.
+    pub name: &'static str,
+    /// Grid edge (power of two); the global grid is `n × n × n`.
+    pub n: usize,
+    /// Number of V-cycle iterations the full benchmark runs.
+    pub iterations: usize,
+}
+
+impl MgClass {
+    /// NAS class S: 32³, 4 iterations.
+    pub const S: MgClass = MgClass {
+        name: "S",
+        n: 32,
+        iterations: 4,
+    };
+    /// NAS class W: 128³, 4 iterations.
+    pub const W: MgClass = MgClass {
+        name: "W",
+        n: 128,
+        iterations: 4,
+    };
+    /// NAS class A: 256³, 4 iterations.
+    pub const A: MgClass = MgClass {
+        name: "A",
+        n: 256,
+        iterations: 4,
+    };
+    /// NAS class B: 256³, 20 iterations.
+    pub const B: MgClass = MgClass {
+        name: "B",
+        n: 256,
+        iterations: 20,
+    };
+    /// NAS class C: 512³, 20 iterations.
+    pub const C: MgClass = MgClass {
+        name: "C",
+        n: 512,
+        iterations: 20,
+    };
+
+    /// Scaled stand-ins preserving the class ladder on one container.
+    pub const A_SCALED: MgClass = MgClass {
+        name: "A/8",
+        n: 64,
+        iterations: 4,
+    };
+    /// Scaled class B stand-in.
+    pub const B_SCALED: MgClass = MgClass {
+        name: "B/8",
+        n: 64,
+        iterations: 20,
+    };
+    /// Scaled class C stand-in.
+    pub const C_SCALED: MgClass = MgClass {
+        name: "C/8",
+        n: 128,
+        iterations: 20,
+    };
+
+    /// Total cells of the fine grid.
+    pub fn cells(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// Looks a class up by name (full or scaled).
+    pub fn by_name(name: &str) -> Option<MgClass> {
+        [
+            Self::S,
+            Self::W,
+            Self::A,
+            Self::B,
+            Self::C,
+            Self::A_SCALED,
+            Self::B_SCALED,
+            Self::C_SCALED,
+        ]
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nas_class_sizes_match_the_spec() {
+        assert_eq!(IsClass::S.total_keys(), 1 << 16);
+        assert_eq!(IsClass::A.total_keys(), 1 << 23);
+        assert_eq!(IsClass::A.max_key(), 1 << 19);
+        assert_eq!(IsClass::C.total_keys(), 1 << 27);
+        assert_eq!(MgClass::A.n, 256);
+        assert_eq!(MgClass::C.n, 512);
+    }
+
+    #[test]
+    fn class_ratios_are_preserved_by_scaling() {
+        assert_eq!(
+            IsClass::B.total_keys_log2 - IsClass::A.total_keys_log2,
+            IsClass::B_SCALED.total_keys_log2 - IsClass::A_SCALED.total_keys_log2
+        );
+        assert_eq!(
+            IsClass::C.total_keys_log2 - IsClass::B.total_keys_log2,
+            IsClass::C_SCALED.total_keys_log2 - IsClass::B_SCALED.total_keys_log2
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(IsClass::by_name("a"), Some(IsClass::A));
+        assert_eq!(IsClass::by_name("A/32"), Some(IsClass::A_SCALED));
+        assert_eq!(IsClass::by_name("nope"), None);
+        assert_eq!(MgClass::by_name("C"), Some(MgClass::C));
+    }
+}

@@ -1,0 +1,198 @@
+//! The NAS IS verification phase, three ways (paper §4.1, Figure 2).
+//!
+//! "As the last part of the computation, the NAS IS benchmark verifies
+//! that the large array of integers is sorted."
+//!
+//! * [`verify_nas_mpi`] — the reference C+MPI structure: communicate the
+//!   boundary elements to neighbouring processors, check locally, then a
+//!   sum reduction of violation counts. Models the reference code's **two
+//!   memory references per value** in the local check (the very scalar
+//!   inefficiency §4.1 identifies).
+//! * [`verify_mpi_scalar_opt`] — the same MPI structure after the paper's
+//!   scalar optimization ("one memory reference per value"), which
+//!   "closed the performance gap entirely".
+//! * [`verify_rsmpi`] — the global-view version: one line applying the
+//!   `sorted` user-defined reduction to the conceptual entire array.
+//!
+//! All three return the same answer; the figure harness compares their
+//! modeled times.
+
+use gv_core::ops::sorted::Sorted;
+use gv_msgpass::localview::local_allreduce;
+use gv_msgpass::{Comm, Tag};
+
+const BOUNDARY_TAG: Tag = 17;
+
+/// Passes each rank's last key to the next rank, tolerating empty blocks
+/// by forwarding the incoming boundary. Returns the boundary value this
+/// rank must check its first key against.
+fn exchange_boundary(comm: &Comm, keys: &[u32]) -> Option<u32> {
+    let p = comm.size();
+    let r = comm.rank();
+    if let Some(&last) = keys.last() {
+        // Non-empty: send eagerly (sends don't block), then receive.
+        if r + 1 < p {
+            comm.send(r + 1, BOUNDARY_TAG, Some(last));
+        }
+        if r > 0 {
+            comm.recv::<Option<u32>>(r - 1, BOUNDARY_TAG)
+        } else {
+            None
+        }
+    } else {
+        // Empty block: chain the predecessor's boundary through.
+        let boundary = if r > 0 {
+            comm.recv::<Option<u32>>(r - 1, BOUNDARY_TAG)
+        } else {
+            None
+        };
+        if r + 1 < p {
+            comm.send(r + 1, BOUNDARY_TAG, boundary);
+        }
+        boundary
+    }
+}
+
+/// The reference NAS C+MPI verification: boundary exchange + indexed local
+/// check (two memory references per value) + sum reduction.
+pub fn verify_nas_mpi(comm: &Comm, keys: &[u32]) -> bool {
+    let boundary = exchange_boundary(comm, keys);
+    let mut violations = 0u64;
+    if let (Some(b), Some(&first)) = (boundary, keys.first()) {
+        if b > first {
+            violations += 1;
+        }
+    }
+    // The reference loop indexes the array twice per iteration
+    // (`key_array[i-1] > key_array[i]`).
+    for i in 1..keys.len() {
+        if keys[i - 1] > keys[i] {
+            violations += 1;
+        }
+    }
+    comm.advance(2 * keys.len() as u64);
+    local_allreduce(comm, violations, |a, b| a + b) == 0
+}
+
+/// The paper's scalar-optimized MPI verification: identical communication,
+/// but the local loop keeps the previous value in a scalar, making one
+/// memory reference per value.
+pub fn verify_mpi_scalar_opt(comm: &Comm, keys: &[u32]) -> bool {
+    let boundary = exchange_boundary(comm, keys);
+    let mut violations = 0u64;
+    let mut prev = boundary;
+    for &k in keys {
+        if let Some(p) = prev {
+            if p > k {
+                violations += 1;
+            }
+        }
+        prev = Some(k);
+    }
+    comm.advance(keys.len() as u64);
+    local_allreduce(comm, violations, |a, b| a + b) == 0
+}
+
+/// The RSMPI verification: "a single line can apply the sorted reduction
+/// to the conceptual entire array of integers."
+pub fn verify_rsmpi(comm: &Comm, keys: &[u32]) -> bool {
+    gv_rsmpi::reduce_all(comm, &Sorted::<u32>::new(), keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_executor::chunk_ranges;
+    use gv_msgpass::Runtime;
+
+    type Verifier = fn(&Comm, &[u32]) -> bool;
+    const VERIFIERS: [(&str, Verifier); 3] = [
+        ("nas_mpi", verify_nas_mpi),
+        ("scalar_opt", verify_mpi_scalar_opt),
+        ("rsmpi", verify_rsmpi),
+    ];
+
+    fn run_all(data: &[u32], p: usize) -> Vec<(String, Vec<bool>)> {
+        let chunks: Vec<Vec<u32>> = chunk_ranges(data.len(), p)
+            .map(|r| data[r].to_vec())
+            .collect();
+        VERIFIERS
+            .iter()
+            .map(|(name, f)| {
+                let outcome = Runtime::new(p).run(|comm| f(comm, &chunks[comm.rank()]));
+                (name.to_string(), outcome.results)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_three_accept_sorted_arrays() {
+        let data: Vec<u32> = (0..500).map(|i| i / 3).collect();
+        for p in [1usize, 2, 4, 7] {
+            for (name, results) in run_all(&data, p) {
+                assert_eq!(results, vec![true; p], "{name} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_reject_local_violations() {
+        let mut data: Vec<u32> = (0..500).collect();
+        data.swap(250, 251);
+        for p in [1usize, 3, 8] {
+            for (name, results) in run_all(&data, p) {
+                assert_eq!(results, vec![false; p], "{name} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_reject_boundary_violations() {
+        // Violation exactly at the 4-way chunk boundary.
+        let mut data: Vec<u32> = (0..400).collect();
+        data.swap(99, 100);
+        for (name, results) in run_all(&data, 4) {
+            assert_eq!(results, vec![false; 4], "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_middle_blocks_are_handled() {
+        // 2 elements over 5 ranks: ranks 2..4 have empty blocks; the
+        // boundary must chain through them.
+        let sorted = vec![1u32, 2];
+        let unsorted = vec![2u32, 1];
+        for (name, results) in run_all(&sorted, 5) {
+            assert_eq!(results, vec![true; 5], "{name}");
+        }
+        for (name, results) in run_all(&unsorted, 5) {
+            assert_eq!(results, vec![false; 5], "{name}");
+        }
+    }
+
+    #[test]
+    fn rsmpi_is_modeled_faster_than_reference_and_matched_by_scalar_opt() {
+        // The Figure 2 relationship at one data point: unoptimized MPI is
+        // slower (2 refs/value); the scalar optimization closes the gap.
+        let data: Vec<u32> = (0..200_000).map(|i| i / 7).collect();
+        let p = 8;
+        let chunks: Vec<Vec<u32>> = chunk_ranges(data.len(), p)
+            .map(|r| data[r].to_vec())
+            .collect();
+        let time = |f: Verifier| {
+            Runtime::new(p)
+                .run(|comm| f(comm, &chunks[comm.rank()]))
+                .modeled_seconds
+        };
+        let t_nas = time(verify_nas_mpi);
+        let t_opt = time(verify_mpi_scalar_opt);
+        let t_rsmpi = time(verify_rsmpi);
+        assert!(t_rsmpi < t_nas, "rsmpi={t_rsmpi} nas={t_nas}");
+        // "Optimizing the provided NAS C+MPI code … closed the performance
+        // gap entirely": within a couple of collective latencies.
+        assert!(
+            (t_opt - t_rsmpi).abs() < 0.3 * t_rsmpi,
+            "opt={t_opt} rsmpi={t_rsmpi}"
+        );
+    }
+}

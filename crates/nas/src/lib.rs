@@ -1,0 +1,28 @@
+//! # gv-nas — NAS Parallel Benchmark kernels for the paper's evaluation
+//!
+//! The paper's §4 evaluates RSMPI on two NAS kernels:
+//!
+//! * **IS** (Figure 2): the verification phase — is the distributed key
+//!   array globally sorted? Three implementations: the reference C+MPI
+//!   boundary-exchange structure, its scalar optimization, and the
+//!   C+RSMPI `sorted` user-defined reduction ([`is`]).
+//! * **MG** (Figure 3): the ZRAN3 initialization — ten largest and ten
+//!   smallest grid values with locations. Two implementations: the
+//!   reference forty-built-in-reductions structure and the single
+//!   user-defined `TopBottomK` reduction ([`mg`]).
+//!
+//! Supporting substrates implemented from scratch: the NPB linear
+//! congruential generator ([`randlc`]), problem classes ([`class`]), the
+//! distributed bucket sort of IS, a working MG V-cycle, and a
+//! conjugate-gradient kernel ([`cg`]) reproducing NAS CG's communication
+//! mix for the §1 call-census experiment.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod class;
+pub mod is;
+pub mod mg;
+pub mod randlc;
+
+pub use class::{IsClass, MgClass};

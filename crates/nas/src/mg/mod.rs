@@ -1,0 +1,15 @@
+//! NAS MG (Multigrid) — the kernel behind the paper's Figure 3.
+//!
+//! [`zran3`](mod@zran3) is the routine Figure 3 times (initialization: random fill,
+//! top/bottom-10 extrema with locations, ±1 charges); [`vcycle`] is a
+//! working V-cycle solver over the same distributed grids, so the
+//! initialization runs inside a real benchmark; [`grid`] and [`comm3`]
+//! are the shared slab representation and boundary exchange.
+
+pub mod comm3;
+pub mod grid;
+pub mod vcycle;
+pub mod zran3;
+
+pub use grid::{ExtSlab, Slab};
+pub use zran3::{zran3, Zran3Variant};

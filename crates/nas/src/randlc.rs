@@ -1,0 +1,183 @@
+//! The NAS Parallel Benchmarks pseudorandom number generator.
+//!
+//! The NPB generator is the linear congruential scheme
+//!
+//! ```text
+//! x_{k+1} = a · x_k  (mod 2^46),   a = 5^13,   period 2^44
+//! ```
+//!
+//! returning `x_k · 2^-46 ∈ (0, 1)`. The reference implementation carries
+//! the state in double precision split into halves; since the modulus is a
+//! power of two, exact 128-bit integer arithmetic reproduces the identical
+//! stream bit-for-bit, which is what this module does.
+//!
+//! Seed-jumping (`pow46`) lets each rank start its block of the stream
+//! without generating its predecessors — the trick NAS `find_my_seed` /
+//! `zran3`'s plane offsets rely on.
+
+/// The NPB multiplier `a = 5^13`.
+pub const A: u64 = 1_220_703_125;
+
+/// The default NPB seed used by IS and MG.
+pub const DEFAULT_SEED: u64 = 314_159_265;
+
+const MOD_BITS: u32 = 46;
+const MASK: u64 = (1u64 << MOD_BITS) - 1;
+const SCALE: f64 = 1.0 / (1u64 << MOD_BITS) as f64;
+
+/// The generator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Randlc {
+    x: u64,
+}
+
+impl Randlc {
+    /// Creates a generator with the given seed (taken mod 2^46).
+    pub fn new(seed: u64) -> Self {
+        Randlc { x: seed & MASK }
+    }
+
+    /// The canonical NPB stream (`seed = 314159265`).
+    pub fn nas_default() -> Self {
+        Self::new(DEFAULT_SEED)
+    }
+
+    /// Current raw state.
+    pub fn state(&self) -> u64 {
+        self.x
+    }
+
+    /// Advances one step and returns the uniform variate in `(0, 1)` —
+    /// NPB's `randlc(&x, a)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = mul_mod46(self.x, A);
+        self.x as f64 * SCALE
+    }
+
+    /// Fills `out` with consecutive variates — NPB's `vranlc`.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.next_f64();
+        }
+    }
+
+    /// Jumps the generator forward by `n` steps in O(log n) time.
+    pub fn jump(&mut self, n: u64) {
+        self.x = mul_mod46(self.x, pow46(A, n));
+    }
+
+    /// A generator positioned `n` steps after this one.
+    pub fn jumped(&self, n: u64) -> Self {
+        let mut g = *self;
+        g.jump(n);
+        g
+    }
+}
+
+/// `(x · y) mod 2^46` exactly.
+#[inline]
+pub fn mul_mod46(x: u64, y: u64) -> u64 {
+    ((x as u128 * y as u128) & MASK as u128) as u64
+}
+
+/// `a^n mod 2^46` by binary exponentiation — NPB's `ipow46`.
+pub fn pow46(a: u64, mut n: u64) -> u64 {
+    let mut base = a & MASK;
+    let mut acc = 1u64;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = mul_mod46(acc, base);
+        }
+        base = mul_mod46(base, base);
+        n >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_first_values_of_the_nas_stream() {
+        // First step from the canonical seed: x1 = a·x0 mod 2^46.
+        let mut g = Randlc::nas_default();
+        let v = g.next_f64();
+        let expected_state = mul_mod46(DEFAULT_SEED, A);
+        assert_eq!(g.state(), expected_state);
+        assert!((v - expected_state as f64 * SCALE).abs() < 1e-18);
+    }
+
+    #[test]
+    fn variates_are_in_unit_interval_and_nondegenerate() {
+        let mut g = Randlc::nas_default();
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let v = g.next_f64();
+            assert!(v > 0.0 && v < 1.0);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < 0.01, "min={min}");
+        assert!(max > 0.99, "max={max}");
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut g = Randlc::nas_default();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn jump_matches_stepping() {
+        for n in [0u64, 1, 2, 17, 1000, 65_536] {
+            let mut stepped = Randlc::nas_default();
+            for _ in 0..n {
+                stepped.next_f64();
+            }
+            let jumped = Randlc::nas_default().jumped(n);
+            assert_eq!(stepped.state(), jumped.state(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn pow46_agrees_with_repeated_multiplication() {
+        let mut acc = 1u64;
+        for n in 0..64u64 {
+            assert_eq!(pow46(A, n), acc, "n={n}");
+            acc = mul_mod46(acc, A);
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_tile_the_stream() {
+        // Rank r generating block [r·k, (r+1)·k) from a jumped seed must
+        // reproduce the serial stream exactly.
+        let k = 1000;
+        let mut serial = Randlc::nas_default();
+        let mut reference = vec![0.0; 4 * k];
+        serial.fill(&mut reference);
+        for r in 0..4 {
+            let mut g = Randlc::nas_default().jumped((r * k) as u64);
+            let mut block = vec![0.0; k];
+            g.fill(&mut block);
+            assert_eq!(block.as_slice(), &reference[r * k..(r + 1) * k], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn fill_equals_next_in_a_loop() {
+        let mut a = Randlc::new(42);
+        let mut b = Randlc::new(42);
+        let mut buf = vec![0.0; 64];
+        a.fill(&mut buf);
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, b.next_f64(), "i={i}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Global-view scans over the message-passing substrate — paper Listing 3,
+//! distributed. This is the paper's headline novelty: "the first
+//! user-defined scan formulation for higher level languages".
+//!
+//! ```text
+//! forall processors q:   (accumulate phase, with pre/post hooks)
+//!     s_q ← accumulate(in_q)
+//! LOCAL_XSCAN(f_ident, f_combine, s_q)
+//! forall processors q:   (rescan phase)
+//!     for i in 0..n−1:
+//!         out_q(i) ← f_scan_gen(s_q, in_q(i))
+//!         s_q ← f_accum(s_q, in_q(i))
+//! ```
+//!
+//! "By interchanging lines 12 and 13, this algorithm is made to compute an
+//! inclusive scan" — which is what [`ScanKind::Inclusive`] does.
+
+use gv_core::op::{ReduceScanOp, ScanKind};
+use gv_msgpass::Comm;
+
+use crate::reduce::{accumulate_local, combining};
+
+/// Global-view scan: each rank passes its local block and receives the
+/// scan outputs for exactly its block's positions.
+pub fn scan<Op>(comm: &Comm, op: &Op, local: &[Op::In], kind: ScanKind) -> Vec<Op::Out>
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+{
+    // Phase 1 (Listing 3 lines 1–8): local accumulate, hooks included.
+    let state = accumulate_local(comm, op, local);
+
+    // Line 9: LOCAL_XSCAN of the per-rank states across ranks.
+    let mut running = comm.scan_exclusive(
+        state,
+        || op.ident(),
+        |s| op.wire_size(s),
+        combining(comm, op),
+    );
+
+    // Lines 10–13: rescan the local block from the incoming prefix state.
+    let mut out = Vec::with_capacity(local.len());
+    for x in local {
+        match kind {
+            ScanKind::Exclusive => {
+                out.push(op.scan_gen(&running, x));
+                op.accum(&mut running, x);
+            }
+            ScanKind::Inclusive => {
+                op.accum(&mut running, x);
+                out.push(op.scan_gen(&running, x));
+            }
+        }
+    }
+    comm.advance(local.len() as u64 * (op.accum_ops() + 1));
+    out
+}
+
+/// Scan that also returns the total reduction state (the running state
+/// after the last local element on the last rank is the global total;
+/// every rank returns its own block-final state).
+pub fn scan_with_block_total<Op>(
+    comm: &Comm,
+    op: &Op,
+    local: &[Op::In],
+    kind: ScanKind,
+) -> (Vec<Op::Out>, Op::State)
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+{
+    let state = accumulate_local(comm, op, local);
+    let mut running = comm.scan_exclusive(
+        state,
+        || op.ident(),
+        |s| op.wire_size(s),
+        combining(comm, op),
+    );
+    let mut out = Vec::with_capacity(local.len());
+    for x in local {
+        match kind {
+            ScanKind::Exclusive => {
+                out.push(op.scan_gen(&running, x));
+                op.accum(&mut running, x);
+            }
+            ScanKind::Inclusive => {
+                op.accum(&mut running, x);
+                out.push(op.scan_gen(&running, x));
+            }
+        }
+    }
+    comm.advance(local.len() as u64 * (op.accum_ops() + 1));
+    (out, running)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gv_core::ops::builtin::sum;
+    use gv_core::ops::counts::BucketRank;
+    use gv_core::ops::sorted::Sorted;
+    use gv_executor::chunk_ranges;
+    use gv_msgpass::Runtime;
+
+    fn check_against_sequential<Op>(op_factory: impl Fn() -> Op + Sync, data: &[Op::In], kind: ScanKind)
+    where
+        Op: ReduceScanOp,
+        Op::In: Clone + Sync,
+        Op::State: Clone + Send + 'static,
+        Op::Out: PartialEq + std::fmt::Debug + Send,
+    {
+        let expected = gv_core::seq::scan(&op_factory(), data, kind);
+        for p in [1usize, 2, 3, 5, 8] {
+            let chunks: Vec<Vec<Op::In>> = chunk_ranges(data.len(), p)
+                .map(|r| data[r].to_vec())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                scan(comm, &op_factory(), &chunks[comm.rank()], kind)
+            });
+            let flattened: Vec<Op::Out> = outcome.results.into_iter().flatten().collect();
+            assert_eq!(flattened, expected, "p={p} kind={kind:?}");
+        }
+    }
+
+    #[test]
+    fn distributed_sum_scan_matches_sequential() {
+        let data: Vec<i64> = (0..200).map(|i| (i * 13) % 23 - 11).collect();
+        check_against_sequential(sum::<i64>, &data, ScanKind::Inclusive);
+        check_against_sequential(sum::<i64>, &data, ScanKind::Exclusive);
+    }
+
+    #[test]
+    fn paper_exclusive_scan_through_rsmpi() {
+        let data: Vec<i64> = vec![6, 7, 6, 3, 8, 2, 8, 4, 8, 3];
+        let chunks: Vec<Vec<i64>> = chunk_ranges(10, 5).map(|r| data[r].to_vec()).collect();
+        let outcome = Runtime::new(5).run(|comm| {
+            scan(comm, &sum::<i64>(), &chunks[comm.rank()], ScanKind::Exclusive)
+        });
+        let flat: Vec<i64> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, vec![0, 6, 13, 19, 22, 30, 32, 40, 44, 52]);
+    }
+
+    #[test]
+    fn particle_ranking_scan_from_the_paper() {
+        // §3.1.3: octant ranking of [6,7,6,3,8,2,8,4,8,3] (1-based octants).
+        let particles: Vec<usize> = [6, 7, 6, 3, 8, 2, 8, 4, 8, 3]
+            .iter()
+            .map(|&o| o - 1)
+            .collect();
+        let chunks: Vec<Vec<usize>> =
+            chunk_ranges(particles.len(), 3).map(|r| particles[r].to_vec()).collect();
+        let outcome = Runtime::new(3).run(|comm| {
+            scan(comm, &BucketRank::new(8), &chunks[comm.rank()], ScanKind::Inclusive)
+        });
+        let flat: Vec<u64> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, vec![1, 1, 2, 1, 1, 1, 2, 1, 3, 2]);
+    }
+
+    #[test]
+    fn noncommutative_sorted_scan_matches_sequential() {
+        let mut data: Vec<i64> = (0..60).collect();
+        data.swap(40, 41);
+        let op = || Sorted::<i64>::new();
+        let expected = gv_core::seq::scan(&op(), &data, ScanKind::Inclusive);
+        let chunks: Vec<Vec<i64>> = chunk_ranges(60, 4).map(|r| data[r].to_vec()).collect();
+        let outcome = Runtime::new(4).run(|comm| {
+            scan(comm, &op(), &chunks[comm.rank()], ScanKind::Inclusive)
+        });
+        let flat: Vec<bool> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn scan_with_block_total_final_state_is_global_total() {
+        let data: Vec<i64> = (1..=100).collect();
+        let chunks: Vec<Vec<i64>> = chunk_ranges(100, 4).map(|r| data[r].to_vec()).collect();
+        let outcome = Runtime::new(4).run(|comm| {
+            let (_, total) = scan_with_block_total(
+                comm,
+                &sum::<i64>(),
+                &chunks[comm.rank()],
+                ScanKind::Inclusive,
+            );
+            total
+        });
+        // Rank q's block-final state is the inclusive prefix through its
+        // block; the last rank holds the global total.
+        assert_eq!(outcome.results[3], 5050);
+    }
+
+    #[test]
+    fn empty_blocks_in_scan() {
+        let data: Vec<i64> = vec![1, 2, 3];
+        let chunks: Vec<Vec<i64>> = chunk_ranges(3, 6).map(|r| data[r].to_vec()).collect();
+        let outcome = Runtime::new(6).run(|comm| {
+            scan(comm, &sum::<i64>(), &chunks[comm.rank()], ScanKind::Inclusive)
+        });
+        let flat: Vec<i64> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, vec![1, 3, 6]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Segmented scans and streaming statistics: per-group prefix sums with
+//! the `Segmented` operator (the NESL primitive expressed as an ordinary
+//! user-defined operator) and one-pass moments with `MeanVar`.
+//!
+//! Run with: `cargo run --example groupstats`
+
+use gv_core::ops::builtin::Sum;
+use gv_core::ops::segmented::{flag_segments, Segmented};
+use gv_core::prelude::*;
+use gv_msgpass::Runtime;
+
+fn main() {
+    // Sales per (region, amount), grouped by region, in region order.
+    let sales: Vec<(&str, i64)> = vec![
+        ("east", 120),
+        ("east", 80),
+        ("east", 45),
+        ("north", 300),
+        ("north", 10),
+        ("south", 55),
+        ("west", 220),
+        ("west", 35),
+        ("west", 90),
+        ("west", 5),
+    ];
+    println!("sales: {sales:?}\n");
+
+    // Per-region running totals in ONE scan: a segment starts where the
+    // region changes.
+    let flagged = flag_segments(&sales, |a, b| a.0 != b.0);
+    let input: Vec<(i64, bool)> = flagged.iter().map(|((_, v), s)| (*v, *s)).collect();
+    let running = scan(&Segmented(Sum::default()), &input, ScanKind::Inclusive);
+    println!("per-region running totals:");
+    for ((region, amount), total) in sales.iter().zip(&running) {
+        println!("  {region:<6} {amount:>5}  → {total:>5}");
+    }
+
+    // The same scan over the distributed array — segments may straddle
+    // rank boundaries; the parallel-prefix machinery handles it.
+    let outcome = Runtime::new(4).run(|comm| {
+        let per_rank = input.len().div_ceil(comm.size());
+        let mine: Vec<(i64, bool)> = input
+            .chunks(per_rank)
+            .nth(comm.rank())
+            .map(|c| c.to_vec())
+            .unwrap_or_default();
+        gv_rsmpi::scan(comm, &Segmented(Sum::default()), &mine, ScanKind::Inclusive)
+    });
+    let distributed: Vec<i64> = outcome.results.into_iter().flatten().collect();
+    assert_eq!(distributed, running);
+    println!("\ndistributed over 4 ranks: identical ✓");
+
+    // One-pass moments of the amounts: count, mean, variance in a single
+    // reduction with three distinct types (f64 in, moment state, summary
+    // out) — the type flexibility §3 is about.
+    let amounts: Vec<f64> = sales.iter().map(|(_, v)| *v as f64).collect();
+    let m = reduce(&MeanVar, &amounts);
+    println!(
+        "\namount moments: n={} mean={:.1} std={:.1}",
+        m.count,
+        m.mean,
+        m.std_dev()
+    );
+
+    // And the two extremes in one pass instead of two reductions.
+    let envelope = reduce(&minmax(), &amounts);
+    println!("amount range  : {envelope:?}");
+}

@@ -1,0 +1,15 @@
+//! # global-view — facade crate
+//!
+//! Re-exports the whole workspace: the global-view operator abstraction
+//! and engines ([`core`]), the execution substrates ([`executor`],
+//! [`msgpass`]), the RSMPI layer ([`rsmpi`]) and the NAS kernels
+//! ([`nas`]). See the README for a tour and DESIGN.md for the map from
+//! the paper's sections to modules.
+
+pub use gv_core as core;
+pub use gv_executor as executor;
+pub use gv_msgpass as msgpass;
+pub use gv_nas as nas;
+pub use gv_rsmpi as rsmpi;
+
+pub use gv_core::prelude;

@@ -1,0 +1,215 @@
+//! Property tests for the extension operators and the distributed-vector
+//! API, plus failure-injection checks of the runtime's error paths.
+
+use proptest::prelude::*;
+
+use gv_core::iter::{reduce_iter, scan_iter};
+use gv_core::op::ScanKind;
+use gv_core::ops::builtin::{sum, Sum};
+use gv_core::ops::histogram::Histogram;
+use gv_core::ops::minmax::minmax;
+use gv_core::ops::segmented::Segmented;
+use gv_core::{par, seq};
+use gv_executor::Pool;
+use gv_msgpass::Runtime;
+use gv_rsmpi::DistVector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn minmax_matches_iterator_extremes(
+        data in proptest::collection::vec(-1e9f64..1e9, 0..200),
+        parts in 1usize..12,
+    ) {
+        let expected = if data.is_empty() {
+            None
+        } else {
+            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            Some((lo, hi))
+        };
+        prop_assert_eq!(seq::reduce(&minmax(), &data), expected);
+        let pool = Pool::new(2);
+        prop_assert_eq!(par::reduce(&pool, parts, &minmax(), &data), expected);
+    }
+
+    #[test]
+    fn segmented_scan_equals_per_segment_scans(
+        values in proptest::collection::vec(-100i64..100, 1..150),
+        // Segment-start flags; position 0 forced true below.
+        flags in proptest::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let n = values.len().min(flags.len());
+        let input: Vec<(i64, bool)> = (0..n)
+            .map(|i| (values[i], i == 0 || flags[i]))
+            .collect();
+        let got = seq::scan(&Segmented(Sum::<i64>::default()), &input, ScanKind::Inclusive);
+        // Oracle: restart a running sum at every flag.
+        let mut oracle = Vec::with_capacity(n);
+        let mut acc = 0i64;
+        for &(v, starts) in &input {
+            acc = if starts { v } else { acc + v };
+            oracle.push(acc);
+        }
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn segmented_scan_is_chunking_invariant(
+        values in proptest::collection::vec(-100i64..100, 0..150),
+        parts in 1usize..10,
+        stride in 1usize..9,
+    ) {
+        let input: Vec<(i64, bool)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i % stride == 0))
+            .collect();
+        let op = Segmented(Sum::<i64>::default());
+        let expected = seq::scan(&op, &input, ScanKind::Inclusive);
+        let pool = Pool::new(2);
+        prop_assert_eq!(par::scan(&pool, parts, &op, &input, ScanKind::Inclusive), expected);
+    }
+
+    #[test]
+    fn histogram_bins_partition_the_input(
+        data in proptest::collection::vec(-50.0f64..150.0, 0..200),
+        bins in 1usize..12,
+    ) {
+        let h = Histogram::uniform(0.0, 100.0, bins);
+        let counts = seq::reduce(&h, &data);
+        prop_assert_eq!(counts.total(), data.len() as u64);
+        prop_assert_eq!(counts.bins.len(), bins + 2);
+        let under = data.iter().filter(|&&x| x < 0.0).count() as u64;
+        let over = data.iter().filter(|&&x| x >= 100.0).count() as u64;
+        prop_assert_eq!(counts.bins[0], under);
+        prop_assert_eq!(*counts.bins.last().unwrap(), over);
+    }
+
+    #[test]
+    fn iter_engine_matches_slice_engine(
+        data in proptest::collection::vec(-1000i64..1000, 0..150),
+    ) {
+        prop_assert_eq!(
+            reduce_iter(&sum::<i64>(), data.iter().copied()),
+            seq::reduce(&sum::<i64>(), &data)
+        );
+        let streamed: Vec<i64> =
+            scan_iter(&sum::<i64>(), data.iter().copied(), ScanKind::Exclusive).collect();
+        prop_assert_eq!(streamed, seq::scan(&sum::<i64>(), &data, ScanKind::Exclusive));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dist_vector_reduce_and_scan_match_oracle(
+        global_len in 0usize..120,
+        p in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let oracle: Vec<i64> = (0..global_len as u64)
+            .map(|i| ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100)
+            .collect();
+        let expected_sum = seq::reduce(&sum::<i64>(), &oracle);
+        let expected_scan = seq::scan(&sum::<i64>(), &oracle, ScanKind::Inclusive);
+        let outcome = Runtime::new(p).run(move |comm| {
+            let a = DistVector::generate(comm, global_len, |i| {
+                ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100
+            });
+            let total = a.reduce(&sum::<i64>());
+            let prefix = a.scan(&sum::<i64>(), ScanKind::Inclusive).gather_to_all();
+            (total, prefix)
+        });
+        for (total, prefix) in outcome.results {
+            prop_assert_eq!(total, expected_sum);
+            prop_assert_eq!(&prefix, &expected_scan);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection: the error paths users actually hit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn operator_panic_inside_distributed_reduce_unwinds_cleanly() {
+    struct Bomb;
+    impl gv_core::op::ReduceScanOp for Bomb {
+        type In = i64;
+        type State = i64;
+        type Out = i64;
+        fn ident(&self) -> i64 {
+            0
+        }
+        fn accum(&self, s: &mut i64, x: &i64) {
+            if *x == 13 {
+                panic!("unlucky accumulate");
+            }
+            *s += *x;
+        }
+        fn combine(&self, a: &mut i64, b: i64) {
+            *a += b;
+        }
+        fn red_gen(&self, s: i64) -> i64 {
+            s
+        }
+        fn scan_gen(&self, s: &i64, _x: &i64) -> i64 {
+            *s
+        }
+    }
+    let result = std::panic::catch_unwind(|| {
+        Runtime::new(4).run(|comm| {
+            let local: Vec<i64> = vec![comm.rank() as i64 * 13]; // rank 1 holds 13
+            gv_rsmpi::reduce_all(comm, &Bomb, &local)
+        })
+    });
+    assert!(result.is_err(), "the panic must propagate, not deadlock");
+}
+
+#[test]
+fn type_mismatch_on_receive_is_a_clear_panic() {
+    let result = std::panic::catch_unwind(|| {
+        Runtime::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 42u32);
+            } else {
+                let _: String = comm.recv(0, 3); // wrong type
+            }
+        })
+    });
+    let err = result.expect_err("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("type mismatch"), "got: {msg}");
+}
+
+#[test]
+fn pool_survives_repeated_job_panics() {
+    let pool = Pool::new(2);
+    for _ in 0..5 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| s.spawn(|| panic!("job panic")));
+        }));
+        assert!(r.is_err());
+    }
+    // Still fully functional afterwards.
+    let data: Vec<u64> = (0..100).collect();
+    assert_eq!(par::reduce(&pool, 4, &sum::<u64>(), &data), 4950);
+}
+
+#[test]
+fn scan_with_more_ranks_than_data_is_consistent() {
+    // Extreme decomposition: 8 ranks, 2 elements.
+    let outcome = Runtime::new(8).run(|comm| {
+        let a = DistVector::generate(comm, 2, |i| i as i64 + 5);
+        a.scan(&sum::<i64>(), ScanKind::Inclusive).gather_to_all()
+    });
+    for prefix in outcome.results {
+        assert_eq!(prefix, vec![5, 11]);
+    }
+}
