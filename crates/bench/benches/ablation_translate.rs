@@ -7,15 +7,15 @@
 //! scalar operator (sum — small gap) and a structured one (mink — large
 //! gap, since a translate costs O(k) per element).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use gv_testkit::bench::{black_box, Bench, BenchmarkId, Throughput};
+use gv_testkit::{bench_group, bench_main};
 
 use gv_core::ops::builtin::sum;
 use gv_core::ops::mink::MinK;
 use gv_core::ops::translate::Translated;
 use gv_core::seq;
 
-fn bench_translate(c: &mut Criterion) {
+fn bench_translate(c: &mut Bench) {
     let n = 50_000usize;
     let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 1_000_003).collect();
 
@@ -42,13 +42,13 @@ fn bench_translate(c: &mut Criterion) {
     group.finish();
 }
 
-fn configured() -> Criterion {
-    Criterion::default().sample_size(10)
+fn configured() -> Bench {
+    Bench::new().sample_size(10)
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = configured();
     targets = bench_translate
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -2,8 +2,8 @@
 //! user-defined operators through the sequential and shared-memory
 //! engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use gv_testkit::bench::{black_box, Bench, BenchmarkId, Throughput};
+use gv_testkit::{bench_group, bench_main};
 
 use gv_core::ops::builtin::sum;
 use gv_core::ops::mink::MinK;
@@ -17,7 +17,7 @@ fn data_i64(n: usize) -> Vec<i64> {
     (0..n as i64).map(|i| (i * 2654435761) % 1_000_003).collect()
 }
 
-fn bench_builtin_sum(c: &mut Criterion) {
+fn bench_builtin_sum(c: &mut Bench) {
     let mut group = c.benchmark_group("reduce/sum_i64");
     for &n in &[1_000usize, 100_000] {
         let data = data_i64(n);
@@ -33,7 +33,7 @@ fn bench_builtin_sum(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_user_ops(c: &mut Criterion) {
+fn bench_user_ops(c: &mut Bench) {
     let mut group = c.benchmark_group("reduce/user_ops");
     let n = 100_000usize;
     let data = data_i64(n);
@@ -55,7 +55,7 @@ fn bench_user_ops(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_mink_k_sweep(c: &mut Criterion) {
+fn bench_mink_k_sweep(c: &mut Bench) {
     // The combine cost grows with k while accumulate stays ~O(1) amortized
     // — the asymmetry §3 calls out.
     let mut group = c.benchmark_group("reduce/mink_k_sweep");
@@ -68,13 +68,13 @@ fn bench_mink_k_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-fn configured() -> Criterion {
-    Criterion::default().sample_size(10)
+fn configured() -> Bench {
+    Bench::new().sample_size(10)
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = configured();
     targets = bench_builtin_sum, bench_user_ops, bench_mink_k_sweep
 }
-criterion_main!(benches);
+bench_main!(benches);

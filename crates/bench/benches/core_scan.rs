@@ -1,8 +1,8 @@
 //! BENCH-CORE (scans): wall-clock throughput of inclusive and exclusive
 //! scans through the sequential and shared-memory engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use gv_testkit::bench::{black_box, Bench, BenchmarkId, Throughput};
+use gv_testkit::{bench_group, bench_main};
 
 use gv_core::op::ScanKind;
 use gv_core::ops::builtin::{max, sum};
@@ -10,7 +10,7 @@ use gv_core::ops::counts::BucketRank;
 use gv_core::{par, seq};
 use gv_executor::Pool;
 
-fn bench_sum_scan(c: &mut Criterion) {
+fn bench_sum_scan(c: &mut Bench) {
     let mut group = c.benchmark_group("scan/sum_i64");
     for &n in &[1_000usize, 100_000] {
         let data: Vec<i64> = (0..n as i64).collect();
@@ -30,7 +30,7 @@ fn bench_sum_scan(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_running_max_and_ranking(c: &mut Criterion) {
+fn bench_running_max_and_ranking(c: &mut Bench) {
     let mut group = c.benchmark_group("scan/user");
     let n = 100_000usize;
     group.throughput(Throughput::Elements(n as u64));
@@ -45,13 +45,13 @@ fn bench_running_max_and_ranking(c: &mut Criterion) {
     group.finish();
 }
 
-fn configured() -> Criterion {
-    Criterion::default().sample_size(10)
+fn configured() -> Bench {
+    Bench::new().sample_size(10)
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = configured();
     targets = bench_sum_scan, bench_running_max_and_ranking
 }
-criterion_main!(benches);
+bench_main!(benches);

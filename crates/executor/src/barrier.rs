@@ -6,8 +6,7 @@
 //! generation-counting races of naive counter barriers.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// A reusable barrier for a fixed set of `parties` threads.
 pub struct SenseBarrier {
@@ -53,14 +52,14 @@ impl SenseBarrier {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset and release the round.
             self.remaining.store(self.parties, Ordering::Release);
-            let _guard = self.lock.lock();
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
             self.sense.store(my_sense, Ordering::Release);
             self.cv.notify_all();
             return BarrierWait { is_leader: true };
         }
-        let mut guard = self.lock.lock();
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         while self.sense.load(Ordering::Acquire) != my_sense {
-            self.cv.wait(&mut guard);
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
         BarrierWait { is_leader: false }
     }

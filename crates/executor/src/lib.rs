@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod channel;
 pub mod chunks;
 pub mod pool;
 pub mod scope;

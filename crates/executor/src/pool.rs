@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{self, Receiver, Sender};
-
+use crate::channel::{unbounded, Receiver, Sender};
 use crate::scope::{Scope, ScopeState};
 
 /// A heap-allocated unit of work.
@@ -29,7 +28,7 @@ impl Pool {
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one worker thread");
-        let (sender, receiver) = channel::unbounded::<Job>();
+        let (sender, receiver) = unbounded::<Job>();
         let workers = (0..threads)
             .map(|index| {
                 let rx: Receiver<Job> = receiver.clone();

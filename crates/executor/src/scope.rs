@@ -10,11 +10,16 @@
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::pool::{Job, Pool};
+
+/// Locks recovering from poison: a scope's counters stay coherent even if
+/// a thread panicked while holding the lock (the updates are single
+/// assignments, never left half-done).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Shared bookkeeping between a [`Scope`] and its in-flight jobs.
 pub(crate) struct ScopeState {
@@ -33,11 +38,11 @@ impl ScopeState {
     }
 
     fn add(&self) {
-        *self.pending.lock() += 1;
+        *lock(&self.pending) += 1;
     }
 
     fn done(&self) {
-        let mut pending = self.pending.lock();
+        let mut pending = lock(&self.pending);
         *pending -= 1;
         if *pending == 0 {
             self.all_done.notify_all();
@@ -46,7 +51,7 @@ impl ScopeState {
 
     fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
         // First panic wins; later ones are dropped (matching std scope).
-        let mut slot = self.panic.lock();
+        let mut slot = lock(&self.panic);
         if slot.is_none() {
             *slot = Some(payload);
         }
@@ -54,15 +59,18 @@ impl ScopeState {
 
     /// Blocks until every job spawned on this scope has completed.
     pub(crate) fn wait_all(&self) {
-        let mut pending = self.pending.lock();
+        let mut pending = lock(&self.pending);
         while *pending > 0 {
-            self.all_done.wait(&mut pending);
+            pending = self
+                .all_done
+                .wait(pending)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Re-raises the first recorded job panic, if any.
     pub(crate) fn resume_panic(&self) {
-        if let Some(payload) = self.panic.lock().take() {
+        if let Some(payload) = lock(&self.panic).take() {
             resume_unwind(payload);
         }
     }

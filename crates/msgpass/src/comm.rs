@@ -6,13 +6,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::Sender;
-use parking_lot::Mutex;
+use gv_executor::channel::Sender;
 
 use crate::cost::CostModel;
-use crate::mailbox::{Mailbox, Source};
+use crate::mailbox::{Mailbox, ShutdownError, Source};
 use crate::message::{Packet, Tag};
 use crate::stats::{CallKind, Stats};
 
@@ -41,6 +40,7 @@ impl SplitRegistry {
         *self
             .ids
             .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .entry((parent, color))
             .or_insert_with(|| self.next.fetch_add(1, Ordering::Relaxed))
     }
@@ -219,12 +219,7 @@ impl Comm {
     /// message's modeled availability. Returns the value, the actual
     /// source rank, and the availability time.
     pub fn recv_meta<T: 'static>(&self, src: Source, tag: Tag) -> (T, usize, f64) {
-        let packet = self.core.mailbox.borrow_mut().recv_or_abort(
-            self.id,
-            src,
-            tag,
-            &self.core.aborted,
-        );
+        let packet = self.blocking_recv(src, tag);
         let available_at = packet.sent_at + self.core.cost.alpha / 2.0
             + self.core.cost.beta * packet.bytes as f64;
         self.charge_overhead();
@@ -247,18 +242,25 @@ impl Comm {
     /// chosen order (e.g. availability order for commutative reductions):
     /// the caller bumps the clock per processed message.
     pub(crate) fn recv_deferred<T: 'static>(&self, src: Source, tag: Tag) -> (T, f64) {
-        let packet = self.core.mailbox.borrow_mut().recv_or_abort(
-            self.id,
-            src,
-            tag,
-            &self.core.aborted,
-        );
+        let packet = self.blocking_recv(src, tag);
         let available_at = packet.sent_at + self.core.cost.alpha / 2.0
             + self.core.cost.beta * packet.bytes as f64;
         self.charge_overhead();
         let from = packet.src;
         let value = downcast_payload::<T>(packet.payload, self.id, from, tag);
         (value, available_at)
+    }
+
+    /// Blocks on the mailbox; a receive that can never complete (peer
+    /// exited or abort flag raised) unwinds this rank with the typed
+    /// [`ShutdownError`] as the panic payload, which the runtime's abort
+    /// path propagates to the caller of `Runtime::run`.
+    fn blocking_recv(&self, src: Source, tag: Tag) -> Packet {
+        self.core
+            .mailbox
+            .borrow_mut()
+            .recv_or_abort(self.id, src, tag, &self.core.aborted)
+            .unwrap_or_else(|err: ShutdownError| std::panic::panic_any(err))
     }
 
     /// Receives a `T` with `tag` from any source; returns `(value, src)`.

@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use comm::Comm;
 pub use cost::CostModel;
-pub use mailbox::Source;
+pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
 pub use runtime::{RunOutcome, Runtime};
 pub use stats::{CallKind, Stats, StatsSnapshot};

@@ -5,8 +5,15 @@
 //! queue), then blocks on the channel, stashing non-matching arrivals.
 //! Within one `(comm, source, tag)` triple this preserves arrival order —
 //! MPI's non-overtaking guarantee.
+//!
+//! A receive that can never complete (peer threads exited, or the runtime
+//! raised the abort flag after a peer panicked) surfaces as a
+//! [`ShutdownError`] rather than a bare panic, so callers can attach
+//! context before unwinding.
 
-use crossbeam::channel::{Receiver, Sender};
+use std::fmt;
+
+use gv_executor::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::message::{Packet, Tag};
 
@@ -18,6 +25,51 @@ pub enum Source {
     /// Match messages from any rank (MPI_ANY_SOURCE).
     Any,
 }
+
+/// Why a blocked receive was shut down instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownKind {
+    /// The mailbox channel disconnected: every peer rank exited without
+    /// sending the awaited message.
+    Disconnected,
+    /// A peer rank panicked and the runtime raised the abort flag; this
+    /// rank unwinds instead of deadlocking on a message that will never
+    /// be sent.
+    Aborted,
+}
+
+/// A receive that can never complete, with the matching triple it was
+/// blocked on. Raised through `std::panic::panic_any` by the
+/// communicator so the runtime's normal abort path unwinds every rank;
+/// callers that `catch_unwind` a run can downcast the payload to this
+/// type to distinguish shutdown from an application panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownError {
+    /// Communicator the receive was posted on.
+    pub comm: u64,
+    /// Source selector of the blocked receive.
+    pub src: Source,
+    /// Tag of the blocked receive.
+    pub tag: Tag,
+    /// What cut the receive short.
+    pub kind: ShutdownKind,
+}
+
+impl fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self.kind {
+            ShutdownKind::Disconnected => "peer ranks exited without sending",
+            ShutdownKind::Aborted => "a peer rank panicked",
+        };
+        write!(
+            f,
+            "recv(comm={}, src={:?}, tag={}) shut down: {reason}",
+            self.comm, self.src, self.tag
+        )
+    }
+}
+
+impl std::error::Error for ShutdownError {}
 
 pub(crate) struct Mailbox {
     incoming: Receiver<Packet>,
@@ -41,30 +93,36 @@ impl Mailbox {
             }
     }
 
-    /// Blocks until a packet matching `(comm_id, src, tag)` is available
-    /// and returns it.
-    ///
-    /// # Panics
-    /// Panics if the channel disconnects while waiting (peer ranks exited
-    /// without sending — a deadlock-turned-error).
-    #[cfg_attr(not(test), allow(dead_code))] // comm uses recv_or_abort
-    pub(crate) fn recv(&mut self, comm_id: u64, src: Source, tag: Tag) -> Packet {
-        if let Some(i) = self
-            .pending
+    fn take_pending(&mut self, comm_id: u64, src: Source, tag: Tag) -> Option<Packet> {
+        self.pending
             .iter()
             .position(|p| Self::matches(p, comm_id, src, tag))
-        {
-            return self.pending.remove(i);
+            .map(|i| self.pending.remove(i))
+    }
+
+    /// Blocks until a packet matching `(comm_id, src, tag)` is available.
+    /// Fails with [`ShutdownKind::Disconnected`] if the channel closes
+    /// while waiting (peer ranks exited without sending — a
+    /// deadlock-turned-error).
+    #[cfg_attr(not(test), allow(dead_code))] // comm uses recv_or_abort
+    pub(crate) fn recv(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+    ) -> Result<Packet, ShutdownError> {
+        if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            return Ok(packet);
         }
         loop {
-            let packet = self.incoming.recv().unwrap_or_else(|_| {
-                panic!(
-                    "recv(comm={comm_id}, src={src:?}, tag={tag}) \
-                     waiting on a message that can no longer arrive"
-                )
-            });
+            let packet = self.incoming.recv().map_err(|_| ShutdownError {
+                comm: comm_id,
+                src,
+                tag,
+                kind: ShutdownKind::Disconnected,
+            })?;
             if Self::matches(&packet, comm_id, src, tag) {
-                return packet;
+                return Ok(packet);
             }
             self.pending.push(packet);
         }
@@ -72,21 +130,18 @@ impl Mailbox {
 
     /// Like [`recv`](Self::recv) but periodically checks `aborted`; if a
     /// peer rank has panicked, this turns the would-be deadlock into a
-    /// clean panic that lets the runtime unwind every rank.
+    /// clean [`ShutdownKind::Aborted`] error that lets the runtime unwind
+    /// every rank.
     pub(crate) fn recv_or_abort(
         &mut self,
         comm_id: u64,
         src: Source,
         tag: Tag,
         aborted: &std::sync::atomic::AtomicBool,
-    ) -> Packet {
+    ) -> Result<Packet, ShutdownError> {
         use std::sync::atomic::Ordering;
-        if let Some(i) = self
-            .pending
-            .iter()
-            .position(|p| Self::matches(p, comm_id, src, tag))
-        {
-            return self.pending.remove(i);
+        if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            return Ok(packet);
         }
         loop {
             match self
@@ -95,22 +150,28 @@ impl Mailbox {
             {
                 Ok(packet) => {
                     if Self::matches(&packet, comm_id, src, tag) {
-                        return packet;
+                        return Ok(packet);
                     }
                     self.pending.push(packet);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(RecvTimeoutError::Timeout) => {
                     if aborted.load(Ordering::Relaxed) {
-                        panic!(
-                            "rank aborted while waiting for (comm={comm_id}, \
-                             src={src:?}, tag={tag}): a peer rank panicked"
-                        );
+                        return Err(ShutdownError {
+                            comm: comm_id,
+                            src,
+                            tag,
+                            kind: ShutdownKind::Aborted,
+                        });
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => panic!(
-                    "recv(comm={comm_id}, src={src:?}, tag={tag}) \
-                     waiting on a message that can no longer arrive"
-                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ShutdownError {
+                        comm: comm_id,
+                        src,
+                        tag,
+                        kind: ShutdownKind::Disconnected,
+                    });
+                }
             }
         }
     }
@@ -121,7 +182,7 @@ pub(crate) fn build_mailboxes(p: usize) -> (Vec<Mailbox>, Vec<Sender<Packet>>) {
     let mut boxes = Vec::with_capacity(p);
     let mut senders = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = gv_executor::channel::unbounded();
         boxes.push(Mailbox::new(rx));
         senders.push(tx);
     }
@@ -149,11 +210,11 @@ mod tests {
         senders[0].send(packet(0, 1, 7, 10)).unwrap();
         senders[0].send(packet(0, 2, 7, 20)).unwrap();
         senders[0].send(packet(0, 1, 9, 30)).unwrap();
-        let m = boxes[0].recv(0, Source::Rank(2), 7);
+        let m = boxes[0].recv(0, Source::Rank(2), 7).unwrap();
         assert_eq!(*m.payload.downcast::<i32>().unwrap(), 20);
-        let m = boxes[0].recv(0, Source::Rank(1), 9);
+        let m = boxes[0].recv(0, Source::Rank(1), 9).unwrap();
         assert_eq!(*m.payload.downcast::<i32>().unwrap(), 30);
-        let m = boxes[0].recv(0, Source::Rank(1), 7);
+        let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
         assert_eq!(*m.payload.downcast::<i32>().unwrap(), 10);
     }
 
@@ -162,7 +223,7 @@ mod tests {
         let (mut boxes, senders) = build_mailboxes(1);
         senders[0].send(packet(0, 3, 1, 1)).unwrap();
         senders[0].send(packet(0, 4, 1, 2)).unwrap();
-        let m = boxes[0].recv(0, Source::Any, 1);
+        let m = boxes[0].recv(0, Source::Any, 1).unwrap();
         assert_eq!(m.src, 3);
     }
 
@@ -173,7 +234,7 @@ mod tests {
             senders[0].send(packet(0, 1, 7, v)).unwrap();
         }
         for v in 0..5 {
-            let m = boxes[0].recv(0, Source::Rank(1), 7);
+            let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
             assert_eq!(*m.payload.downcast::<i32>().unwrap(), v);
         }
     }
@@ -183,9 +244,37 @@ mod tests {
         let (mut boxes, senders) = build_mailboxes(1);
         senders[0].send(packet(5, 1, 7, 50)).unwrap();
         senders[0].send(packet(6, 1, 7, 60)).unwrap();
-        let m = boxes[0].recv(6, Source::Rank(1), 7);
+        let m = boxes[0].recv(6, Source::Rank(1), 7).unwrap();
         assert_eq!(*m.payload.downcast::<i32>().unwrap(), 60);
-        let m = boxes[0].recv(5, Source::Rank(1), 7);
+        let m = boxes[0].recv(5, Source::Rank(1), 7).unwrap();
         assert_eq!(*m.payload.downcast::<i32>().unwrap(), 50);
+    }
+
+    #[test]
+    fn disconnect_surfaces_as_shutdown_error_not_a_lost_message() {
+        let (mut boxes, senders) = build_mailboxes(1);
+        senders[0].send(packet(0, 1, 7, 10)).unwrap();
+        drop(senders);
+        // The queued message is still delivered…
+        let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
+        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 10);
+        // …then the dead channel reports a typed shutdown.
+        let err = boxes[0].recv(0, Source::Rank(1), 7).unwrap_err();
+        assert_eq!(err.kind, ShutdownKind::Disconnected);
+        assert_eq!(err.comm, 0);
+        assert_eq!(err.tag, 7);
+        assert!(err.to_string().contains("shut down"), "{err}");
+    }
+
+    #[test]
+    fn abort_flag_surfaces_as_shutdown_error() {
+        use std::sync::atomic::AtomicBool;
+        let (mut boxes, senders) = build_mailboxes(1);
+        let aborted = AtomicBool::new(true);
+        let err = boxes[0]
+            .recv_or_abort(0, Source::Any, 3, &aborted)
+            .unwrap_err();
+        assert_eq!(err.kind, ShutdownKind::Aborted);
+        drop(senders);
     }
 }

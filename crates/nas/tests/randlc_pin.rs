@@ -1,0 +1,62 @@
+//! Pins `gv_nas::randlc::Randlc` and `gv_testkit::rng::Nas46` to the
+//! identical bit stream.
+//!
+//! Both implement the NPB `randlc` generator (x ← 5¹³·x mod 2⁴⁶); the
+//! benchmark copy lives here in `gv-nas`, the test-input copy in
+//! `gv-testkit`. Nothing in the type system ties them together, so this
+//! test does: every variate, every state, and the O(log n) jump must
+//! match bit for bit. If either implementation drifts, NAS
+//! verification values silently stop meaning anything.
+
+use gv_nas::randlc::{Randlc, A, DEFAULT_SEED};
+use gv_testkit::rng::Nas46;
+
+#[test]
+fn default_streams_are_bit_identical() {
+    let mut ours = Randlc::nas_default();
+    let mut theirs = Nas46::nas_default();
+    for step in 0..10_000u64 {
+        assert_eq!(
+            ours.next_f64().to_bits(),
+            theirs.next_f64().to_bits(),
+            "variate diverged at step {step}"
+        );
+        assert_eq!(ours.state(), theirs.state(), "state diverged at step {step}");
+    }
+}
+
+#[test]
+fn arbitrary_seeds_agree() {
+    // Includes seeds at and above 2^46, which both sides must mask.
+    for seed in [0u64, 1, DEFAULT_SEED, A, (1 << 46) - 1, 1 << 46, u64::MAX] {
+        let mut ours = Randlc::new(seed);
+        let mut theirs = Nas46::new(seed);
+        assert_eq!(ours.state(), theirs.state(), "seed {seed}: initial state");
+        for step in 0..256u64 {
+            assert_eq!(
+                ours.next_f64().to_bits(),
+                theirs.next_f64().to_bits(),
+                "seed {seed}: diverged at step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn log_time_jumps_agree_with_stepping_and_with_each_other() {
+    for n in [0u64, 1, 2, 7, 1_000, 1 << 20, 1 << 45] {
+        let jumped_ours = Randlc::nas_default().jumped(n);
+        let jumped_theirs = Nas46::nas_default().jumped(n);
+        assert_eq!(jumped_ours.state(), jumped_theirs.state(), "jump({n})");
+    }
+    // And the jump really is n sequential steps.
+    let mut stepped = Nas46::nas_default();
+    for _ in 0..1_000 {
+        stepped.next_f64();
+    }
+    assert_eq!(
+        stepped.state(),
+        Randlc::nas_default().jumped(1_000).state(),
+        "jump(1000) != 1000 steps"
+    );
+}

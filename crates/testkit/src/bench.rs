@@ -1,0 +1,392 @@
+//! A criterion-shaped micro-benchmark harness.
+//!
+//! Mirrors the slice of the `criterion` API the repository's
+//! `harness = false` benches use — groups, [`Throughput`], [`BenchmarkId`],
+//! `bench_function` / `bench_with_input`, a [`Bencher::iter`] loop — on a
+//! simple measurement core: a warmup phase estimates the per-iteration
+//! time, then `sample_size` timed samples (each batching enough
+//! iterations to outweigh timer overhead) are summarized by **median and
+//! MAD** ([`crate::stats`]), which shrug off scheduler noise.
+//!
+//! Results print as a fixed-width table row per benchmark:
+//!
+//! ```text
+//! reduce/sum_i64/seq/1000            326 ns/iter  ± 2 ns     3.07 Gelem/s
+//! ```
+//!
+//! Environment knobs: `GV_BENCH_QUICK=1` runs one short sample per
+//! benchmark (CI smoke), `GV_BENCH_SAMPLE_MS=n` changes the per-sample
+//! time target.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::stats::{mad, median};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a group: lets the table report a rate
+/// alongside the per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (for sweeps within one group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count and records the elapsed
+    /// time. The closure's return value is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished benchmark: identifier, per-iteration stats, throughput.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full identifier (`group/benchmark[/param]`).
+    pub id: String,
+    /// Median per-iteration time, seconds.
+    pub median_s: f64,
+    /// Median absolute deviation of the per-iteration time, seconds.
+    pub mad_s: f64,
+    /// Iterations per sample actually used.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Group throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Record {
+    /// The throughput rate in units/second, if annotated.
+    pub fn rate(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units / self.median_s
+        })
+    }
+}
+
+/// The harness: owns configuration and accumulates [`Record`]s.
+pub struct Bench {
+    sample_size: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    quick: bool,
+    records: Vec<Record>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A harness with defaults (10 samples, 300 ms warmup, 10 ms per
+    /// sample), honouring `GV_BENCH_QUICK` and `GV_BENCH_SAMPLE_MS`.
+    pub fn new() -> Self {
+        let quick = std::env::var("GV_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let sample_ms = std::env::var("GV_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10u64);
+        Bench {
+            sample_size: 10,
+            warmup: Duration::from_millis(300),
+            sample_target: Duration::from_millis(sample_ms),
+            quick,
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group; benchmarks in it render as `group/…`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group { bench: self, name: name.into(), throughput: None }
+    }
+
+    /// All records measured so far (for harnesses that post-process).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let (samples, warmup) = if self.quick {
+            (1, Duration::from_millis(1))
+        } else {
+            (self.sample_size, self.warmup)
+        };
+
+        // Warmup: geometric iteration ramp (1, 2, 4, …) until the budget
+        // is spent; the last batch dominates the per-iteration estimate,
+        // so timer overhead washes out even for nanosecond routines.
+        let mut ramp = 1u64;
+        let per_iter;
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher { iters: ramp, elapsed: Duration::ZERO };
+            routine(&mut b);
+            if warm_start.elapsed() >= warmup || ramp >= 1 << 20 {
+                per_iter = b.elapsed.checked_div(ramp as u32).unwrap_or(Duration::ZERO);
+                break;
+            }
+            ramp *= 2;
+        }
+
+        // Batch enough iterations per sample that timer overhead is
+        // negligible, but never more than ~the sample target allows.
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.sample_target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut per_iter_times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            per_iter_times.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+
+        let record = Record {
+            id,
+            median_s: median(&per_iter_times),
+            mad_s: mad(&per_iter_times),
+            iters_per_sample: iters,
+            samples,
+            throughput,
+        };
+        println!("{}", render_row(&record));
+        self.records.push(record);
+    }
+}
+
+/// A benchmark group: shares a name prefix and a throughput annotation.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Annotates subsequent benchmarks in this group with a throughput,
+    /// so the table reports a rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Measures `routine` under `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        self.bench.run_one(full, self.throughput, routine);
+    }
+
+    /// Measures `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        self.bench
+            .run_one(full, self.throughput, |b| routine(b, input));
+    }
+
+    /// Ends the group (rows were printed as they were measured).
+    pub fn finish(self) {}
+}
+
+/// Formats seconds with engineering units (mirrors `gv_bench::table`).
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, throughput: Throughput) -> String {
+    let unit = match throughput {
+        Throughput::Elements(_) => "elem/s",
+        Throughput::Bytes(_) => "B/s",
+    };
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// One fixed-width table row for a finished benchmark.
+pub fn render_row(record: &Record) -> String {
+    let rate = match (record.rate(), record.throughput) {
+        (Some(r), Some(t)) => format!("  {}", fmt_rate(r, t)),
+        _ => String::new(),
+    };
+    format!(
+        "{:<44} {:>12}/iter  ± {:>10}{}",
+        record.id,
+        fmt_time(record.median_s),
+        fmt_time(record.mad_s),
+        rate
+    )
+}
+
+/// Defines a bench-group function in the criterion style:
+///
+/// ```ignore
+/// bench_group! {
+///     name = benches;
+///     config = Bench::new().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// bench_main!(benches);
+/// ```
+#[macro_export]
+macro_rules! bench_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut bench = $config;
+            $( $target(&mut bench); )+
+        }
+    };
+}
+
+/// Defines `main` running the given bench groups (CLI arguments from
+/// `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench() -> Bench {
+        Bench {
+            sample_size: 3,
+            warmup: Duration::from_millis(1),
+            sample_target: Duration::from_micros(200),
+            quick: false,
+            records: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut bench = quick_bench();
+        let mut group = bench.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        let records = bench.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "g/sum");
+        assert!(records[0].median_s > 0.0);
+        assert!(records[0].rate().unwrap() > 0.0);
+        assert_eq!(records[0].samples, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut bench = quick_bench();
+        let data: Vec<u64> = (0..64).collect();
+        let mut group = bench.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(bench.records()[0].id, "g/sum/64");
+    }
+
+    #[test]
+    fn row_rendering_contains_id_and_units() {
+        let record = Record {
+            id: "g/x".into(),
+            median_s: 2.5e-6,
+            mad_s: 1.0e-8,
+            iters_per_sample: 100,
+            samples: 10,
+            throughput: Some(Throughput::Elements(1000)),
+        };
+        let row = render_row(&record);
+        assert!(row.contains("g/x"), "{row}");
+        assert!(row.contains("µs"), "{row}");
+        assert!(row.contains("elem/s"), "{row}");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("seq", 1000).to_string(), "seq/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,55 @@
+//! Robust summary statistics for the bench harness: median and MAD
+//! (median absolute deviation). Benchmarks on a shared host see
+//! scheduling noise in the tail; the median/MAD pair is insensitive to
+//! it, unlike mean/stddev.
+
+/// Median of `values` (averaging the middle pair for even lengths).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median — a robust spread measure.
+/// Zero for constant (or single-sample) data.
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // Nine samples near 1.0, one wild outlier: MAD stays small.
+        let mut v = vec![1.0; 9];
+        v.push(1000.0);
+        assert_eq!(median(&v), 1.0);
+        assert_eq!(mad(&v), 0.0);
+    }
+
+    #[test]
+    fn mad_of_spread_data() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mad(&v), 1.0);
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Hermetic tier-1 gate: build and test with no network and no registry.
+#
+# The workspace has zero external dependencies (see DESIGN.md,
+# "Dependencies"), so --offline must always succeed from a fresh checkout;
+# if this script fails with a registry error, someone reintroduced an
+# external crate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace --benches
+cargo test -q --offline --workspace

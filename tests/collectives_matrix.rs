@@ -1,0 +1,190 @@
+//! Exhaustive small-`p` matrix over the message-passing collectives.
+//!
+//! Every rank count from 1 through 9 (covering the power-of-two,
+//! one-off-a-power, and odd cases every schedule special-cases) ×
+//! every collective (rooted reduce at *every* root, allreduce by
+//! reduce+bcast and by recursive doubling, inclusive / exclusive /
+//! linear-chain scans, alltoallv) × a commutative payload (u64 sum)
+//! and a non-commutative one (string concatenation, which detects any
+//! out-of-rank-order combine) — all checked against a sequential
+//! oracle.
+//!
+//! A final test pins down that the virtual-clock cost model and the
+//! call/byte statistics are bit-for-bit deterministic across repeated
+//! runs of the same workload.
+
+use gv_msgpass::Runtime;
+
+/// Runs one communicator through every reduction/scan-shaped collective
+/// and asserts each result against the rank-order sequential oracle.
+///
+/// `contrib`/`combine`/`ident` are non-capturing closures (fn pointers)
+/// so the whole exercise stays `Fn + Sync` for the runtime.
+fn exercise_all_collectives<T>(
+    p: usize,
+    contrib: fn(usize) -> T,
+    combine: fn(T, T) -> T,
+    ident: fn() -> T,
+    wire: fn(&T) -> usize,
+) where
+    T: Clone + Send + PartialEq + std::fmt::Debug + 'static,
+{
+    Runtime::new(p).run(|comm| {
+        let r = comm.rank();
+        let mine = contrib(r);
+        // Oracle: fold ranks lo..hi in rank order.
+        let fold = |lo: usize, hi: usize| {
+            let mut acc = ident();
+            for rank in lo..hi {
+                acc = combine(acc, contrib(rank));
+            }
+            acc
+        };
+        let total = fold(0, p);
+
+        // Rooted reduce, at every possible root.
+        for root in 0..p {
+            let got = comm.reduce(root, mine.clone(), wire, combine);
+            if r == root {
+                assert_eq!(
+                    got.as_ref(),
+                    Some(&total),
+                    "reduce(root={root}) at the root, p={p}, rank={r}"
+                );
+            } else {
+                assert!(got.is_none(), "reduce(root={root}) off-root, p={p}, rank={r}");
+            }
+        }
+
+        // Both allreduce schedules deliver the total everywhere.
+        assert_eq!(
+            comm.allreduce(mine.clone(), wire, combine),
+            total,
+            "allreduce, p={p}, rank={r}"
+        );
+        assert_eq!(
+            comm.allreduce_recursive_doubling(mine.clone(), wire, combine),
+            total,
+            "allreduce_recursive_doubling, p={p}, rank={r}"
+        );
+
+        // Scans: rank r's inclusive prefix is ranks 0..=r, exclusive is
+        // 0..r (the identity at rank 0), and the O(p) linear chain must
+        // agree with the parallel-prefix schedule.
+        let inclusive = comm.scan_inclusive(mine.clone(), wire, combine);
+        assert_eq!(inclusive, fold(0, r + 1), "scan_inclusive, p={p}, rank={r}");
+        let exclusive = comm.scan_exclusive(mine.clone(), ident, wire, combine);
+        assert_eq!(exclusive, fold(0, r), "scan_exclusive, p={p}, rank={r}");
+        assert_eq!(
+            comm.scan_inclusive_linear(mine.clone(), wire, combine),
+            inclusive,
+            "scan_inclusive_linear, p={p}, rank={r}"
+        );
+        let (exc2, inc2) = comm.scan_both(mine.clone(), wire, combine);
+        assert_eq!(inc2, inclusive, "scan_both inclusive half, p={p}, rank={r}");
+        assert_eq!(
+            exc2.unwrap_or_else(ident),
+            exclusive,
+            "scan_both exclusive half, p={p}, rank={r}"
+        );
+    });
+}
+
+#[test]
+fn commutative_collectives_match_oracle_for_p_1_through_9() {
+    for p in 1..=9 {
+        // Distinct per-rank values (squares), so a dropped or duplicated
+        // contribution cannot cancel out.
+        exercise_all_collectives::<u64>(
+            p,
+            |r| (r as u64 + 1) * (r as u64 + 1),
+            |a, b| a + b,
+            || 0,
+            |_| 8,
+        );
+    }
+}
+
+#[test]
+fn non_commutative_collectives_match_oracle_for_p_1_through_9() {
+    for p in 1..=9 {
+        // String concatenation: any combine applied out of rank order
+        // produces a visibly different string, so this flushes out
+        // schedules that silently assume commutativity.
+        exercise_all_collectives::<String>(
+            p,
+            |r| format!("[{r}]"),
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+            String::new,
+            |s| s.len(),
+        );
+    }
+}
+
+#[test]
+fn alltoallv_delivers_every_block_in_order_for_p_1_through_9() {
+    for p in 1..=9 {
+        Runtime::new(p).run(|comm| {
+            let r = comm.rank();
+            // Ragged payloads: the block from s to d has (s + 2d) % 4
+            // elements, so lengths 0..=3 all occur and differ by pair.
+            let payload = |s: usize, d: usize| -> Vec<u64> {
+                (0..(s + 2 * d) % 4)
+                    .map(|i| (s * 100 + d * 10 + i) as u64)
+                    .collect()
+            };
+            let outgoing: Vec<Vec<u64>> = (0..p).map(|d| payload(r, d)).collect();
+            let incoming = comm.alltoallv(outgoing);
+            assert_eq!(incoming.len(), p, "alltoallv width, p={p}, rank={r}");
+            for s in 0..p {
+                assert_eq!(
+                    incoming[s],
+                    payload(s, r),
+                    "alltoallv block from {s}, p={p}, rank={r}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn cost_model_and_stats_are_deterministic_across_runs() {
+    for p in [1, 2, 5, 8, 9] {
+        let run = || {
+            Runtime::new(p).run(|comm| {
+                let r = comm.rank() as u64;
+                let total = comm.allreduce_recursive_doubling(r + 1, |_| 8, |a, b| a + b);
+                let prefix = comm.scan_inclusive(r + 1, |_| 8, |a, b| a + b);
+                let outgoing: Vec<Vec<u64>> =
+                    (0..comm.size()).map(|d| vec![r; (r as usize + d) % 3]).collect();
+                let received: usize = comm.alltoallv(outgoing).iter().map(Vec::len).sum();
+                (total, prefix, received)
+            })
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.results, second.results, "results, p={p}");
+        // The virtual clock is modeled, not measured: identical
+        // workloads must produce bit-identical times and statistics.
+        assert_eq!(
+            first.modeled_seconds.to_bits(),
+            second.modeled_seconds.to_bits(),
+            "modeled_seconds, p={p}"
+        );
+        let clock_bits =
+            |o: &gv_msgpass::RunOutcome<(u64, u64, usize)>| -> Vec<u64> {
+                o.rank_clocks.iter().map(|c| c.to_bits()).collect()
+            };
+        assert_eq!(clock_bits(&first), clock_bits(&second), "rank_clocks, p={p}");
+        assert_eq!(first.stats, second.stats, "stats snapshot, p={p}");
+        if p > 1 {
+            assert!(
+                first.modeled_seconds > 0.0,
+                "communication must cost virtual time, p={p}"
+            );
+        }
+    }
+}

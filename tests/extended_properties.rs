@@ -1,7 +1,10 @@
 //! Property tests for the extension operators and the distributed-vector
 //! API, plus failure-injection checks of the runtime's error paths.
+//! Runs on the in-tree `gv-testkit` runner; failing cases print a
+//! `GV_TESTKIT_SEED` replay line.
 
-use proptest::prelude::*;
+use gv_testkit::prop::{bools, check, f64s, i64s, usizes, vec_of, Config};
+use gv_testkit::prop_assert_eq;
 
 use gv_core::iter::{reduce_iter, scan_iter};
 use gv_core::op::ScanKind;
@@ -14,120 +17,149 @@ use gv_executor::Pool;
 use gv_msgpass::Runtime;
 use gv_rsmpi::DistVector;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn minmax_matches_iterator_extremes(
-        data in proptest::collection::vec(-1e9f64..1e9, 0..200),
-        parts in 1usize..12,
-    ) {
-        let expected = if data.is_empty() {
-            None
-        } else {
-            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            Some((lo, hi))
-        };
-        prop_assert_eq!(seq::reduce(&minmax(), &data), expected);
-        let pool = Pool::new(2);
-        prop_assert_eq!(par::reduce(&pool, parts, &minmax(), &data), expected);
-    }
-
-    #[test]
-    fn segmented_scan_equals_per_segment_scans(
-        values in proptest::collection::vec(-100i64..100, 1..150),
-        // Segment-start flags; position 0 forced true below.
-        flags in proptest::collection::vec(any::<bool>(), 1..150),
-    ) {
-        let n = values.len().min(flags.len());
-        let input: Vec<(i64, bool)> = (0..n)
-            .map(|i| (values[i], i == 0 || flags[i]))
-            .collect();
-        let got = seq::scan(&Segmented(Sum::<i64>::default()), &input, ScanKind::Inclusive);
-        // Oracle: restart a running sum at every flag.
-        let mut oracle = Vec::with_capacity(n);
-        let mut acc = 0i64;
-        for &(v, starts) in &input {
-            acc = if starts { v } else { acc + v };
-            oracle.push(acc);
-        }
-        prop_assert_eq!(got, oracle);
-    }
-
-    #[test]
-    fn segmented_scan_is_chunking_invariant(
-        values in proptest::collection::vec(-100i64..100, 0..150),
-        parts in 1usize..10,
-        stride in 1usize..9,
-    ) {
-        let input: Vec<(i64, bool)> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i % stride == 0))
-            .collect();
-        let op = Segmented(Sum::<i64>::default());
-        let expected = seq::scan(&op, &input, ScanKind::Inclusive);
-        let pool = Pool::new(2);
-        prop_assert_eq!(par::scan(&pool, parts, &op, &input, ScanKind::Inclusive), expected);
-    }
-
-    #[test]
-    fn histogram_bins_partition_the_input(
-        data in proptest::collection::vec(-50.0f64..150.0, 0..200),
-        bins in 1usize..12,
-    ) {
-        let h = Histogram::uniform(0.0, 100.0, bins);
-        let counts = seq::reduce(&h, &data);
-        prop_assert_eq!(counts.total(), data.len() as u64);
-        prop_assert_eq!(counts.bins.len(), bins + 2);
-        let under = data.iter().filter(|&&x| x < 0.0).count() as u64;
-        let over = data.iter().filter(|&&x| x >= 100.0).count() as u64;
-        prop_assert_eq!(counts.bins[0], under);
-        prop_assert_eq!(*counts.bins.last().unwrap(), over);
-    }
-
-    #[test]
-    fn iter_engine_matches_slice_engine(
-        data in proptest::collection::vec(-1000i64..1000, 0..150),
-    ) {
-        prop_assert_eq!(
-            reduce_iter(&sum::<i64>(), data.iter().copied()),
-            seq::reduce(&sum::<i64>(), &data)
-        );
-        let streamed: Vec<i64> =
-            scan_iter(&sum::<i64>(), data.iter().copied(), ScanKind::Exclusive).collect();
-        prop_assert_eq!(streamed, seq::scan(&sum::<i64>(), &data, ScanKind::Exclusive));
-    }
+fn cfg() -> Config {
+    Config::new(256)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn minmax_matches_iterator_extremes() {
+    check(
+        "minmax_matches_iterator_extremes",
+        &cfg(),
+        &(vec_of(f64s(-1e9..1e9), 0..200), usizes(1..12)),
+        |(data, parts)| {
+            let expected = if data.is_empty() {
+                None
+            } else {
+                let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                Some((lo, hi))
+            };
+            prop_assert_eq!(seq::reduce(&minmax(), data), expected);
+            let pool = Pool::new(2);
+            prop_assert_eq!(par::reduce(&pool, *parts, &minmax(), data), expected);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn dist_vector_reduce_and_scan_match_oracle(
-        global_len in 0usize..120,
-        p in 1usize..7,
-        seed in 0u64..1000,
-    ) {
-        let oracle: Vec<i64> = (0..global_len as u64)
-            .map(|i| ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100)
-            .collect();
-        let expected_sum = seq::reduce(&sum::<i64>(), &oracle);
-        let expected_scan = seq::scan(&sum::<i64>(), &oracle, ScanKind::Inclusive);
-        let outcome = Runtime::new(p).run(move |comm| {
-            let a = DistVector::generate(comm, global_len, |i| {
-                ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100
+#[test]
+fn segmented_scan_equals_per_segment_scans() {
+    check(
+        "segmented_scan_equals_per_segment_scans",
+        &cfg(),
+        // Segment-start flags; position 0 forced true below.
+        &(vec_of(i64s(-100..100), 1..150), vec_of(bools(), 1..150)),
+        |(values, flags)| {
+            let n = values.len().min(flags.len());
+            let input: Vec<(i64, bool)> = (0..n)
+                .map(|i| (values[i], i == 0 || flags[i]))
+                .collect();
+            let got = seq::scan(&Segmented(Sum::<i64>::default()), &input, ScanKind::Inclusive);
+            // Oracle: restart a running sum at every flag.
+            let mut oracle = Vec::with_capacity(n);
+            let mut acc = 0i64;
+            for &(v, starts) in &input {
+                acc = if starts { v } else { acc + v };
+                oracle.push(acc);
+            }
+            prop_assert_eq!(got, oracle);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn segmented_scan_is_chunking_invariant() {
+    check(
+        "segmented_scan_is_chunking_invariant",
+        &cfg(),
+        &(vec_of(i64s(-100..100), 0..150), usizes(1..10), usizes(1..9)),
+        |(values, parts, stride)| {
+            let input: Vec<(i64, bool)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i % stride == 0))
+                .collect();
+            let op = Segmented(Sum::<i64>::default());
+            let expected = seq::scan(&op, &input, ScanKind::Inclusive);
+            let pool = Pool::new(2);
+            prop_assert_eq!(
+                par::scan(&pool, *parts, &op, &input, ScanKind::Inclusive),
+                expected
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_bins_partition_the_input() {
+    check(
+        "histogram_bins_partition_the_input",
+        &cfg(),
+        &(vec_of(f64s(-50.0..150.0), 0..200), usizes(1..12)),
+        |(data, bins)| {
+            let h = Histogram::uniform(0.0, 100.0, *bins);
+            let counts = seq::reduce(&h, data);
+            prop_assert_eq!(counts.total(), data.len() as u64);
+            prop_assert_eq!(counts.bins.len(), bins + 2);
+            let under = data.iter().filter(|&&x| x < 0.0).count() as u64;
+            let over = data.iter().filter(|&&x| x >= 100.0).count() as u64;
+            prop_assert_eq!(counts.bins[0], under);
+            prop_assert_eq!(*counts.bins.last().unwrap(), over);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn iter_engine_matches_slice_engine() {
+    check(
+        "iter_engine_matches_slice_engine",
+        &cfg(),
+        &vec_of(i64s(-1000..1000), 0..150),
+        |data| {
+            prop_assert_eq!(
+                reduce_iter(&sum::<i64>(), data.iter().copied()),
+                seq::reduce(&sum::<i64>(), data)
+            );
+            let streamed: Vec<i64> =
+                scan_iter(&sum::<i64>(), data.iter().copied(), ScanKind::Exclusive).collect();
+            prop_assert_eq!(streamed, seq::scan(&sum::<i64>(), data, ScanKind::Exclusive));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn dist_vector_reduce_and_scan_match_oracle() {
+    check(
+        "dist_vector_reduce_and_scan_match_oracle",
+        &cfg(),
+        &(usizes(0..120), usizes(1..7), usizes(0..1000)),
+        |&(global_len, p, seed)| {
+            let seed = seed as u64;
+            let oracle: Vec<i64> = (0..global_len as u64)
+                .map(|i| ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100)
+                .collect();
+            let expected_sum = seq::reduce(&sum::<i64>(), &oracle);
+            let expected_scan = seq::scan(&sum::<i64>(), &oracle, ScanKind::Inclusive);
+            let outcome = Runtime::new(p).run(move |comm| {
+                let a = DistVector::generate(comm, global_len, |i| {
+                    ((i.wrapping_mul(seed + 7)) % 201) as i64 - 100
+                });
+                let total = a.reduce(&sum::<i64>());
+                let prefix = a.scan(&sum::<i64>(), ScanKind::Inclusive).gather_to_all();
+                (total, prefix)
             });
-            let total = a.reduce(&sum::<i64>());
-            let prefix = a.scan(&sum::<i64>(), ScanKind::Inclusive).gather_to_all();
-            (total, prefix)
-        });
-        for (total, prefix) in outcome.results {
-            prop_assert_eq!(total, expected_sum);
-            prop_assert_eq!(&prefix, &expected_scan);
-        }
-    }
+            for (total, prefix) in outcome.results {
+                prop_assert_eq!(total, expected_sum);
+                prop_assert_eq!(&prefix, &expected_scan);
+            }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -186,6 +218,31 @@ fn type_mismatch_on_receive_is_a_clear_panic() {
         .cloned()
         .unwrap_or_default();
     assert!(msg.contains("type mismatch"), "got: {msg}");
+}
+
+#[test]
+fn blocked_peers_of_a_panicking_rank_see_a_typed_shutdown() {
+    // When one rank panics, the others' blocked receives unwind with a
+    // `ShutdownError` payload (not a deadlock, not an opaque string).
+    let result = std::panic::catch_unwind(|| {
+        Runtime::new(3).run(|comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            // Other ranks block on a message that will never come.
+            let _: u8 = comm.recv(1, 5);
+        })
+    });
+    let err = result.expect_err("must panic");
+    // The *first* panic wins; depending on scheduling that is rank 1's
+    // String or a peer's ShutdownError — both must be well-formed.
+    if let Some(shutdown) = err.downcast_ref::<gv_msgpass::ShutdownError>() {
+        assert_eq!(shutdown.kind, gv_msgpass::ShutdownKind::Aborted);
+        assert_eq!(shutdown.tag, 5);
+    } else {
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("rank 1 exploded"), "unexpected payload: {msg}");
+    }
 }
 
 #[test]

@@ -1,0 +1,366 @@
+//! The operator contract, checked operator by operator.
+//!
+//! `assert_op_laws` is a reusable suite that exercises every law the
+//! `ReduceScanOp` documentation demands — identity, combine
+//! associativity, decomposition invariance, agreement of the
+//! sequential / shared-memory / message-passing engines, and honesty of
+//! the `COMMUTATIVE` flag — and it is applied below to every operator
+//! the `gv_core::ops` library ships.
+//!
+//! Inputs are generated deterministically from fixed `gv-testkit` seeds,
+//! so a failure here is always reproducible by rerunning the test.
+//! `MeanVar` is the one exception to exact-equality laws (floating-point
+//! merge is only associative up to rounding); it gets a tolerance-based
+//! variant at the bottom.
+
+use gv_core::op::{accumulate_block, combine_all, ReduceScanOp, ScanKind};
+use gv_core::ops::builtin::{
+    band, bor, bxor, land, lor, lxor, max, maxloc, min, minloc, prod, sum, Sum,
+};
+use gv_core::ops::counts::{BucketRank, Counts};
+use gv_core::ops::histogram::Histogram;
+use gv_core::ops::kadane::MaxSubarray;
+use gv_core::ops::mink::{MaxK, MinK};
+use gv_core::ops::minloc::{maxi, mini};
+use gv_core::ops::minmax::minmax;
+use gv_core::ops::runs::LongestRun;
+use gv_core::ops::segmented::Segmented;
+use gv_core::ops::sorted::{Sorted, SortedPaperExact};
+use gv_core::ops::stats::MeanVar;
+use gv_core::ops::topk::TopBottomK;
+use gv_core::ops::translate::Translated;
+use gv_core::{par, seq};
+use gv_executor::{chunk_ranges, Pool};
+use gv_msgpass::Runtime;
+use gv_testkit::rng::TestRng;
+
+// ---------------------------------------------------------------------
+// The reusable law suite.
+// ---------------------------------------------------------------------
+
+/// Accumulates `block` into a fresh identity state (hooks included).
+fn state_of<Op: ReduceScanOp + ?Sized>(op: &Op, block: &[Op::In]) -> Op::State {
+    let mut s = op.ident();
+    accumulate_block(op, &mut s, block);
+    s
+}
+
+/// Split points for the associativity / commutativity checks: a handful
+/// of deterministic 3-way partitions of `0..n`, including degenerate
+/// ones (empty outer pieces, empty middle).
+fn three_way_splits(n: usize) -> Vec<(usize, usize)> {
+    let mut splits = vec![(0, 0), (0, n), (n, n), (n / 3, 2 * n / 3), (n / 2, n / 2)];
+    if n >= 1 {
+        splits.push((1, n));
+        splits.push((0, n - 1));
+    }
+    splits
+}
+
+/// Checks every exact-equality law of the operator contract on each of
+/// the given inputs. Panics with `name` and the failing case index.
+fn assert_op_laws<Op>(name: &str, op: &Op, inputs: &[Vec<Op::In>])
+where
+    Op: ReduceScanOp + Sync,
+    Op::In: Clone + Sync,
+    Op::State: Clone + Send + 'static,
+    Op::Out: PartialEq + std::fmt::Debug + Send,
+{
+    let pool = Pool::new(2);
+
+    // Law 1: reducing nothing is the generated identity.
+    assert_eq!(
+        seq::reduce(op, &[]),
+        op.red_gen(op.ident()),
+        "{name}: reduce of [] != red_gen(ident)"
+    );
+
+    for (case, data) in inputs.iter().enumerate() {
+        let n = data.len();
+        let whole = state_of(op, data);
+        let expected = op.red_gen(whole.clone());
+
+        // Law 2: the identity is a left and right unit for combine.
+        let mut left = op.ident();
+        op.combine(&mut left, whole.clone());
+        assert_eq!(
+            op.red_gen(left),
+            expected,
+            "{name}[case {case}]: combine(ident, s) != s"
+        );
+        let mut right = whole.clone();
+        op.combine(&mut right, op.ident());
+        assert_eq!(
+            op.red_gen(right),
+            expected,
+            "{name}[case {case}]: combine(s, ident) != s"
+        );
+
+        // Law 3: combine is associative across any ordered 3-way split.
+        for (i, j) in three_way_splits(n) {
+            let a = state_of(op, &data[..i]);
+            let b = state_of(op, &data[i..j]);
+            let c = state_of(op, &data[j..]);
+            let mut ab_c = a.clone();
+            op.combine(&mut ab_c, b.clone());
+            op.combine(&mut ab_c, c.clone());
+            let mut bc = b;
+            op.combine(&mut bc, c);
+            let mut a_bc = a;
+            op.combine(&mut a_bc, bc);
+            assert_eq!(
+                op.red_gen(ab_c),
+                op.red_gen(a_bc),
+                "{name}[case {case}]: combine not associative at split ({i}, {j})"
+            );
+        }
+
+        // Law 4: accumulating a block equals combining per-element
+        // singleton states — the finest possible decomposition.
+        let finest = combine_all(op, data.iter().map(|x| state_of(op, std::slice::from_ref(x))));
+        assert_eq!(
+            op.red_gen(finest),
+            expected,
+            "{name}[case {case}]: accumulate != combine of singletons"
+        );
+
+        // Law 5: the shared-memory engine agrees for any chunking.
+        for parts in [1, 2, 3, 7] {
+            assert_eq!(
+                par::reduce(&pool, parts, op, data),
+                expected,
+                "{name}[case {case}]: par::reduce with {parts} parts disagrees"
+            );
+        }
+
+        // Law 6: if the operator claims commutativity, swapping combine
+        // arguments must not change the generated result.
+        if Op::COMMUTATIVE {
+            for (i, _) in three_way_splits(n) {
+                let a = state_of(op, &data[..i]);
+                let b = state_of(op, &data[i..]);
+                let mut ab = a.clone();
+                op.combine(&mut ab, b.clone());
+                let mut ba = b;
+                op.combine(&mut ba, a);
+                assert_eq!(
+                    op.red_gen(ab),
+                    op.red_gen(ba),
+                    "{name}[case {case}]: declared COMMUTATIVE but combine order matters at split {i}"
+                );
+            }
+        }
+
+        // Law 7: the message-passing engine agrees for several rank
+        // counts (block decomposition in rank order).
+        for p in [1, 2, 5] {
+            let chunks: Vec<Vec<Op::In>> =
+                chunk_ranges(n, p).map(|r| data[r].to_vec()).collect();
+            let outcome =
+                Runtime::new(p).run(|comm| gv_rsmpi::reduce_all(comm, op, &chunks[comm.rank()]));
+            for out in outcome.results {
+                assert_eq!(
+                    out, expected,
+                    "{name}[case {case}]: reduce_all on {p} ranks disagrees"
+                );
+            }
+        }
+
+        // Law 8: scans agree across all three engines, both kinds.
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let oracle = seq::scan(op, data, kind);
+            assert_eq!(
+                par::scan(&pool, 3, op, data, kind),
+                oracle,
+                "{name}[case {case}]: par::scan ({kind:?}) disagrees"
+            );
+            let p = 3;
+            let chunks: Vec<Vec<Op::In>> =
+                chunk_ranges(n, p).map(|r| data[r].to_vec()).collect();
+            let outcome =
+                Runtime::new(p).run(|comm| gv_rsmpi::scan(comm, op, &chunks[comm.rank()], kind));
+            let flat: Vec<Op::Out> = outcome.results.into_iter().flatten().collect();
+            assert_eq!(
+                flat, oracle,
+                "{name}[case {case}]: rsmpi::scan ({kind:?}) disagrees"
+            );
+        }
+    }
+}
+
+/// Deterministic inputs: one vector per length in `LENS`, all drawn from
+/// a single seeded stream so every run sees identical data.
+const LENS: [usize; 4] = [0, 1, 13, 57];
+
+fn cases<T>(seed: u64, mut gen: impl FnMut(&mut TestRng) -> T) -> Vec<Vec<T>> {
+    let mut rng = TestRng::new(seed);
+    LENS.iter()
+        .map(|&n| (0..n).map(|_| gen(&mut rng)).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The whole operator library, one law-suite call per operator.
+// ---------------------------------------------------------------------
+
+#[test]
+fn builtin_arithmetic_monoids_obey_the_laws() {
+    assert_op_laws("sum<i64>", &sum::<i64>(), &cases(1, |r| r.i64_in(-1000..1000)));
+    // Tiny factors keep 57-element products inside i64.
+    assert_op_laws("prod<i64>", &prod::<i64>(), &cases(2, |r| r.i64_in(-2..3)));
+    assert_op_laws("min<i64>", &min::<i64>(), &cases(3, |r| r.i64_in(-1_000_000..1_000_000)));
+    assert_op_laws("max<i64>", &max::<i64>(), &cases(4, |r| r.i64_in(-1_000_000..1_000_000)));
+}
+
+#[test]
+fn builtin_logical_and_bitwise_monoids_obey_the_laws() {
+    assert_op_laws("land", &land(), &cases(5, |r| r.bool()));
+    assert_op_laws("lor", &lor(), &cases(6, |r| r.bool()));
+    assert_op_laws("lxor", &lxor(), &cases(7, |r| r.bool()));
+    assert_op_laws("band<u64>", &band::<u64>(), &cases(8, |r| r.next_u64()));
+    assert_op_laws("bor<u64>", &bor::<u64>(), &cases(9, |r| r.next_u64()));
+    assert_op_laws("bxor<u64>", &bxor::<u64>(), &cases(10, |r| r.next_u64()));
+}
+
+#[test]
+fn builtin_location_monoids_obey_the_laws() {
+    // Narrow value range so ties (and MPI's smaller-location rule) are hit.
+    let pairs = |seed| cases(seed, |r: &mut TestRng| (r.i64_in(-20..20), r.below(100)));
+    assert_op_laws("minloc<i64,u64>", &minloc::<i64, u64>(), &pairs(11));
+    assert_op_laws("maxloc<i64,u64>", &maxloc::<i64, u64>(), &pairs(12));
+    assert_op_laws("mini<i64,u64>", &mini::<i64, u64>(), &pairs(13));
+    assert_op_laws("maxi<i64,u64>", &maxi::<i64, u64>(), &pairs(14));
+}
+
+#[test]
+fn structured_state_ops_obey_the_laws() {
+    assert_op_laws("MinK(5)", &MinK::<i64>::new(5), &cases(20, |r| r.i64_in(-500..500)));
+    assert_op_laws("MaxK(3)", &MaxK::<i64>::new(3), &cases(21, |r| r.i64_in(-500..500)));
+    assert_op_laws("Counts(8)", &Counts::new(8), &cases(22, |r| r.usize_in(0..8)));
+    assert_op_laws("BucketRank(8)", &BucketRank::new(8), &cases(23, |r| r.usize_in(0..8)));
+    assert_op_laws(
+        "Histogram(0..100, 8 bins)",
+        &Histogram::uniform(0.0, 100.0, 8),
+        &cases(24, |r| r.f64_in(-25.0..125.0)),
+    );
+    assert_op_laws("minmax<i64>", &minmax::<i64>(), &cases(25, |r| r.i64_in(-400..400)));
+    assert_op_laws(
+        "TopBottomK(4)",
+        &TopBottomK::<i64, u64>::new(4),
+        &cases(26, |r: &mut TestRng| (r.i64_in(-100..100), r.below(1000))),
+    );
+}
+
+#[test]
+fn translate_form_ops_obey_the_laws() {
+    assert_op_laws(
+        "Translated(sum<i64>)",
+        &Translated(sum::<i64>()),
+        &cases(30, |r| r.i64_in(-1000..1000)),
+    );
+    assert_op_laws(
+        "Translated(MinK(4))",
+        &Translated(MinK::<i64>::new(4)),
+        &cases(31, |r| r.i64_in(-500..500)),
+    );
+}
+
+#[test]
+fn non_commutative_ops_obey_the_laws() {
+    assert_op_laws("MaxSubarray", &MaxSubarray, &cases(40, |r| r.i64_in(-50..50)));
+    // A 3-symbol alphabet produces genuine runs that straddle chunk seams.
+    assert_op_laws("LongestRun", &LongestRun::<i64>::new(), &cases(41, |r| r.i64_in(0..3)));
+    assert_op_laws(
+        "Segmented(Sum)",
+        &Segmented(Sum::<i64>::default()),
+        &cases(42, |r: &mut TestRng| (r.i64_in(-100..100), r.bool())),
+    );
+
+    // Sorted-ness checks see both random (almost surely unsorted) and
+    // genuinely sorted inputs, so both verdicts cross chunk seams.
+    let mut sortedness_inputs = cases(43, |r: &mut TestRng| r.i64_in(-100..100));
+    sortedness_inputs.push((0..40).collect());
+    assert_op_laws("Sorted", &Sorted::<i64>::new(), &sortedness_inputs);
+    assert_op_laws("SortedPaperExact", &SortedPaperExact::<i64>::new(), &sortedness_inputs);
+}
+
+// ---------------------------------------------------------------------
+// Directed checks the generic suite cannot express.
+// ---------------------------------------------------------------------
+
+#[test]
+fn non_commutative_ops_declare_it() {
+    assert!(!<MaxSubarray as ReduceScanOp>::COMMUTATIVE);
+    assert!(!<LongestRun<i64> as ReduceScanOp>::COMMUTATIVE);
+    assert!(!<Segmented<Sum<i64>> as ReduceScanOp>::COMMUTATIVE);
+    assert!(!<Sorted<i64> as ReduceScanOp>::COMMUTATIVE);
+    assert!(!<SortedPaperExact<i64> as ReduceScanOp>::COMMUTATIVE);
+    // Translated inherits the flag from the operator it wraps.
+    assert!(!<Translated<Sorted<i64>> as ReduceScanOp>::COMMUTATIVE);
+    assert!(<Translated<MinK<i64>> as ReduceScanOp>::COMMUTATIVE);
+}
+
+/// A positive witness that combine order *matters* for the sorted-ness
+/// operators: the blocks [2] and [1] are sorted in the order [1],[2] but
+/// not in the order [2],[1]. Guards against anyone flipping these to
+/// COMMUTATIVE for a cheap speedup.
+#[test]
+fn sortedness_combine_order_is_observable() {
+    fn witness<Op>(name: &str, op: &Op)
+    where
+        Op: ReduceScanOp<In = i64, Out = bool>,
+        Op::State: Clone,
+    {
+        let two = state_of(op, &[2]);
+        let one = state_of(op, &[1]);
+        let mut ascending = one.clone();
+        op.combine(&mut ascending, two.clone());
+        assert!(op.red_gen(ascending), "{name}: [1] then [2] must be sorted");
+        let mut descending = two;
+        op.combine(&mut descending, one);
+        assert!(!op.red_gen(descending), "{name}: [2] then [1] must not be sorted");
+    }
+    witness("Sorted", &Sorted::<i64>::new());
+    witness("SortedPaperExact", &SortedPaperExact::<i64>::new());
+}
+
+/// `MeanVar` merges running moments; exact equality across different
+/// associations fails in floating point, so it gets the law suite's
+/// shape with tolerances instead of `assert_eq!`.
+#[test]
+fn meanvar_obeys_the_laws_up_to_rounding() {
+    let op = MeanVar;
+    let inputs = cases(50, |r: &mut TestRng| r.f64_in(-1e6..1e6));
+    let pool = Pool::new(2);
+
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()));
+
+    for data in &inputs {
+        let expected = seq::reduce(&op, data);
+
+        // Identity unit (exact: merging a zero-count state is exact).
+        let mut s = state_of(&op, data);
+        op.combine(&mut s, op.ident());
+        let merged = op.red_gen(s);
+        assert_eq!(merged.count, expected.count);
+        assert!(close(merged.mean, expected.mean));
+
+        // Chunking invariance up to rounding, through both engines.
+        for parts in [1, 3, 7] {
+            let got = par::reduce(&pool, parts, &op, data);
+            assert_eq!(got.count, expected.count);
+            assert!(close(got.mean, expected.mean), "parts={parts}");
+            assert!(close(got.variance, expected.variance), "parts={parts}");
+        }
+        let p = 3;
+        let chunks: Vec<Vec<f64>> =
+            chunk_ranges(data.len(), p).map(|r| data[r].to_vec()).collect();
+        let outcome =
+            Runtime::new(p).run(|comm| gv_rsmpi::reduce_all(comm, &op, &chunks[comm.rank()]));
+        for got in outcome.results {
+            assert_eq!(got.count, expected.count);
+            assert!(close(got.mean, expected.mean));
+            assert!(close(got.variance, expected.variance));
+        }
+    }
+}
