@@ -59,9 +59,11 @@ pub mod op;
 pub mod ops;
 pub mod par;
 pub mod seq;
+pub mod split;
 
 pub use monoid::{InvertibleMonoid, Monoid, MonoidOp};
 pub use op::{ReduceScanOp, ScanKind};
+pub use split::SplittableState;
 pub use seq::{reduce, scan};
 
 /// Shared-memory parallel reduction; see [`par::reduce`].
@@ -88,4 +90,5 @@ pub mod prelude {
     pub use crate::ops::topk::{TopBottom, TopBottomK};
     pub use crate::par::{reduce as par_reduce, scan as par_scan};
     pub use crate::seq::{reduce, scan};
+    pub use crate::split::SplittableState;
 }

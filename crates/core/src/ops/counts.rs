@@ -12,6 +12,7 @@
 //! the particle's 1-based rank within its bucket.
 
 use crate::op::ReduceScanOp;
+use crate::split::{split_vec_segments, unsplit_vec_segments, SplittableState};
 
 /// The `counts` operator over bucket indices `0..k`.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,19 @@ impl ReduceScanOp for Counts {
     }
 }
 
+/// Bucket counts combine element-wise, so contiguous bucket ranges
+/// combine independently; every rank's state has length `k`, so chunks
+/// align across ranks.
+impl SplittableState for Counts {
+    fn split_state(&self, state: Vec<u64>, parts: usize) -> Vec<Vec<u64>> {
+        split_vec_segments(state, parts)
+    }
+
+    fn unsplit_state(&self, segments: Vec<Vec<u64>>) -> Vec<u64> {
+        unsplit_vec_segments(segments)
+    }
+}
+
 /// A rank-producing variant of [`Counts`] whose scan output type is a bare
 /// `u64` rather than a one-element vector.
 ///
@@ -132,6 +146,17 @@ impl ReduceScanOp for BucketRank {
 
     fn combine_ops(&self, incoming: &Vec<u64>) -> u64 {
         self.inner.combine_ops(incoming)
+    }
+}
+
+/// Same state and combine as [`Counts`], so the same chunking applies.
+impl SplittableState for BucketRank {
+    fn split_state(&self, state: Vec<u64>, parts: usize) -> Vec<Vec<u64>> {
+        split_vec_segments(state, parts)
+    }
+
+    fn unsplit_state(&self, segments: Vec<Vec<u64>>) -> Vec<u64> {
+        unsplit_vec_segments(segments)
     }
 }
 

@@ -1,0 +1,115 @@
+//! Splittable reduction states — the precondition for reduce-scatter
+//! based combine schedules.
+//!
+//! The message-passing layer's bandwidth-optimal allreduce (Rabenseifner's
+//! reduce-scatter + allgather; see Träff, *Optimal, Non-pipelined
+//! Reduce-scatter and Allreduce Algorithms*) never ships a whole state
+//! between two ranks. Instead every rank splits its state into `p`
+//! segments, each segment is combined independently across ranks, and the
+//! combined segments are reassembled on every rank. That is only correct
+//! for operators whose `combine` *distributes over the segments*:
+//!
+//! ```text
+//! combine(a, b)  ==  unsplit([combine(a₀, b₀), …, combine(a_{p−1}, b_{p−1})])
+//!     where  [a₀ … a_{p−1}] = split(a)  and  [b₀ … b_{p−1}] = split(b)
+//! ```
+//!
+//! Vector-shaped states with element-wise combine (histogram bins, bucket
+//! counts) satisfy this with contiguous chunking; top-k style states
+//! satisfy it because the k best of a union survive in whichever segment
+//! they land in. Scalar states (sums, min/max, `sorted`) have nothing to
+//! split and simply do not implement the trait — the algorithm selector
+//! then falls back to whole-state schedules.
+
+use crate::op::ReduceScanOp;
+
+/// Operators whose [`State`](ReduceScanOp::State) can be split into
+/// per-rank segments combined independently — the requirement for the
+/// reduce-scatter + allgather allreduce.
+///
+/// # Laws
+///
+/// For every reachable state `s` and every `parts ≥ 1`:
+///
+/// 1. **Exactness**: `split_state(s, parts)` returns exactly `parts`
+///    segments (empty segments are fine).
+/// 2. **Round trip**: `unsplit_state(split_state(s, parts)) == s`.
+/// 3. **Distributivity**: combining two states segment-wise and
+///    reassembling equals combining them whole (the equation in the
+///    module docs).
+///
+/// Segments are themselves values of `State`, so
+/// [`wire_size`](ReduceScanOp::wire_size) and
+/// [`combine_ops`](ReduceScanOp::combine_ops) price them correctly.
+pub trait SplittableState: ReduceScanOp {
+    /// Splits `state` into exactly `parts` segments, in order.
+    fn split_state(&self, state: Self::State, parts: usize) -> Vec<Self::State>;
+
+    /// Reassembles per-segment (already combined) states, in segment
+    /// order, into a whole state.
+    fn unsplit_state(&self, segments: Vec<Self::State>) -> Self::State;
+}
+
+/// Splits a vector into `parts` balanced contiguous chunks (the first
+/// `len % parts` chunks get one extra element; chunks beyond `len` are
+/// empty). The chunking depends only on `(len, parts)`, so equal-length
+/// states split identically on every rank.
+pub fn split_vec_segments<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    assert!(parts >= 1, "cannot split into zero segments");
+    let n = v.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        let rest = v.split_off(size);
+        out.push(std::mem::replace(&mut v, rest));
+    }
+    debug_assert!(v.is_empty());
+    out
+}
+
+/// Concatenates segments back into one vector — the inverse of
+/// [`split_vec_segments`] for element-wise operators.
+pub fn unsplit_vec_segments<T>(segments: Vec<Vec<T>>) -> Vec<T> {
+    let total = segments.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for seg in segments {
+        out.extend(seg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_balanced_and_ordered() {
+        let chunks = split_vec_segments((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn more_parts_than_elements_gives_empty_tails() {
+        let chunks = split_vec_segments(vec![1, 2], 5);
+        assert_eq!(chunks.len(), 5);
+        assert_eq!(chunks[0], vec![1]);
+        assert_eq!(chunks[1], vec![2]);
+        assert!(chunks[2..].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn unsplit_round_trips() {
+        for parts in [1usize, 2, 3, 7, 16] {
+            let v: Vec<u32> = (0..13).collect();
+            assert_eq!(unsplit_vec_segments(split_vec_segments(v.clone(), parts)), v);
+        }
+    }
+
+    #[test]
+    fn empty_vector_splits_into_empty_segments() {
+        let chunks = split_vec_segments(Vec::<u8>::new(), 3);
+        assert_eq!(chunks, vec![vec![], vec![], vec![]]);
+    }
+}

@@ -12,6 +12,7 @@
 //! (`lower rank first`) preserves set order for any associative operator.
 
 use crate::comm::Comm;
+use crate::cost::AllreduceAlgorithm;
 use crate::message::{Tag, RESERVED_TAG_BASE};
 use crate::stats::CallKind;
 
@@ -29,6 +30,8 @@ impl Comm {
         mut combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::RecursiveDoubling);
         let _guard = self.enter_collective();
         let p = self.size();
         let r = self.rank();
@@ -105,7 +108,7 @@ mod tests {
                     |a, b| a + b,
                 );
                 let reference =
-                    comm.allreduce(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                    comm.allreduce_reduce_bcast(comm.rank() as u64 + 1, true, |_| 8, |a, b| a + b);
                 (rd, reference)
             });
             for (rank, (rd, reference)) in outcome.results.into_iter().enumerate() {
@@ -140,7 +143,7 @@ mod tests {
                     if rd {
                         comm.allreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
                     } else {
-                        comm.allreduce(1u64, |_| 8, |a, b| a + b);
+                        comm.allreduce_reduce_bcast(1u64, true, |_| 8, |a, b| a + b);
                     }
                 })
                 .modeled_seconds

@@ -29,8 +29,10 @@ pub mod barrier;
 pub mod bcast;
 pub mod gather;
 pub mod reduce;
+pub mod reduce_scatter;
 pub mod scan;
 pub mod scatter;
+pub mod select;
 pub mod shift;
 
 use crate::message::{Tag, RESERVED_TAG_BASE};
@@ -41,3 +43,5 @@ pub(crate) const TAG_GATHER: Tag = RESERVED_TAG_BASE + 0x200;
 pub(crate) const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 0x300;
 pub(crate) const TAG_SCAN: Tag = RESERVED_TAG_BASE + 0x400;
 pub(crate) const TAG_ALLTOALL: Tag = RESERVED_TAG_BASE + 0x500;
+pub(crate) const TAG_REDUCE_SCATTER: Tag = RESERVED_TAG_BASE + 0x900;
+pub(crate) const TAG_ALLGATHER_RING: Tag = RESERVED_TAG_BASE + 0xA00;

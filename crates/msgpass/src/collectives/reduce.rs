@@ -11,6 +11,7 @@
 
 use super::TAG_REDUCE;
 use crate::comm::Comm;
+use crate::cost::AllreduceAlgorithm;
 use crate::mailbox::Source;
 use crate::stats::CallKind;
 
@@ -67,17 +68,26 @@ impl Comm {
         self.reduce_with_branching_impl(root, value, commutative, branching, bytes_of, combine)
     }
 
-    /// Allreduce: the reduction result delivered to every rank
-    /// (binomial reduce to rank 0, then binomial broadcast).
-    pub fn allreduce<T: Clone + Send + 'static>(
+    /// Allreduce by binomial reduce to rank 0 followed by binomial
+    /// broadcast — the baseline schedule. `commutative` is passed through
+    /// to the reduction honestly (it only changes the combine order for
+    /// branching factors above two, but lying about it here is how the
+    /// operator's flag used to get dropped on the floor).
+    ///
+    /// Prefer [`allreduce`](Comm::allreduce), which picks the cheapest
+    /// schedule per call.
+    pub fn allreduce_reduce_bcast<T: Clone + Send + 'static>(
         &self,
         value: T,
+        commutative: bool,
         bytes_of: impl Fn(&T) -> usize,
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::ReduceBroadcast);
         let _guard = self.enter_collective();
-        let at_zero = self.reduce_impl(value, true, 2, &bytes_of, combine);
+        let at_zero = self.reduce_impl(value, commutative, 2, &bytes_of, combine);
         self.bcast_impl(0, at_zero, &bytes_of)
     }
 
@@ -288,9 +298,21 @@ mod tests {
     #[test]
     fn allreduce_delivers_everywhere() {
         let outcome = Runtime::new(7).run(|comm| {
-            comm.allreduce(comm.rank() as i64, |_| 8, |a, b| a.max(b))
+            comm.allreduce(comm.rank() as i64, true, |_| 8, |a, b| a.max(b))
         });
         assert_eq!(outcome.results, vec![6; 7]);
+    }
+
+    #[test]
+    fn allreduce_reduce_bcast_delivers_everywhere() {
+        for commutative in [true, false] {
+            let outcome = Runtime::new(7).run(move |comm| {
+                comm.allreduce_reduce_bcast(comm.rank() as i64, commutative, |_| 8, |a, b| {
+                    a.max(b)
+                })
+            });
+            assert_eq!(outcome.results, vec![6; 7]);
+        }
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Ring reduce-scatter, ring allgather, and their composition into the
+//! Rabenseifner-style bandwidth-optimal allreduce.
+//!
+//! Both rings run `p − 1` pipelined steps in which every rank sends one
+//! *segment* (≈ `n/p` bytes) to its right neighbor and receives one from
+//! its left, so the composed allreduce moves `2(p−1)·n/p` bytes per rank
+//! versus the `≈ 2⌈log₂p⌉·n` of whole-state schedules — the large-state
+//! winner under the α–β model (Träff, *Optimal, Non-pipelined
+//! Reduce-scatter and Allreduce Algorithms*).
+//!
+//! The price is a correctness precondition: segment `j` is combined in
+//! rotated ring order `j+1, j+2, …, p−1, 0, …, j`, a different rank order
+//! for every segment, so the operator **must be commutative**, and the
+//! caller must be able to split its state into `p` independently
+//! combinable segments (`gv_core::split::SplittableState`). The selection
+//! policy in [`super::select`] enforces both.
+
+use super::{TAG_ALLGATHER_RING, TAG_REDUCE_SCATTER};
+use crate::comm::Comm;
+use crate::cost::AllreduceAlgorithm;
+use crate::stats::CallKind;
+
+impl Comm {
+    /// Reduce-scatter with one block per rank: every rank contributes
+    /// `p` segments (segment `j` destined for rank `j`) and ends with
+    /// the across-ranks combination of its own segment.
+    ///
+    /// Combines in rotated ring order — the operator must be commutative.
+    ///
+    /// # Panics
+    /// Panics unless `segments.len() == self.size()`.
+    pub fn reduce_scatter_block<T: Send + 'static>(
+        &self,
+        segments: Vec<T>,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::ReduceScatter);
+        let _guard = self.enter_collective();
+        self.reduce_scatter_block_impl(segments, &bytes_of, combine)
+    }
+
+    /// Allgather over a ring: `p − 1` neighbor steps instead of the
+    /// binomial gather+bcast of [`allgather`](Comm::allgather). Returns
+    /// every rank's value in rank order.
+    pub fn allgather_ring<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+    ) -> Vec<T> {
+        self.stats().record_call(CallKind::Allgather);
+        let _guard = self.enter_collective();
+        self.allgather_ring_impl(value, &bytes_of)
+    }
+
+    /// Allreduce by reduce-scatter + allgather. The caller supplies the
+    /// state already split into `p` segments (`split` runs locally) and a
+    /// way to reassemble the combined segments (`unsplit`).
+    ///
+    /// Requires a commutative operator (see the module docs); prefer
+    /// [`allreduce_splittable`](Comm::allreduce_splittable), which checks
+    /// eligibility and falls back when the precondition does not hold or
+    /// the cost model favors another schedule.
+    pub fn allreduce_reduce_scatter<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+        let _guard = self.enter_collective();
+        let p = self.size();
+        if p == 1 {
+            return value;
+        }
+        let segments = split(value, p);
+        let own = self.reduce_scatter_block_impl(segments, &bytes_of, combine);
+        let all = self.allgather_ring_impl(own, &bytes_of);
+        unsplit(all)
+    }
+
+    /// Ring reduce-scatter without call accounting.
+    ///
+    /// Step `s ∈ 1..p`: rank `r` sends its partial of segment
+    /// `(r − s) mod p` to the right neighbor and receives the partial of
+    /// segment `(r − s − 1) mod p` from the left, combining it with its
+    /// own copy. After `p − 1` steps the partial that stops at rank `r`
+    /// is segment `r`, combined over all ranks.
+    pub(crate) fn reduce_scatter_block_impl<T: Send + 'static>(
+        &self,
+        segments: Vec<T>,
+        bytes_of: &impl Fn(&T) -> usize,
+        mut combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        let p = self.size();
+        let r = self.rank();
+        assert_eq!(
+            segments.len(),
+            p,
+            "reduce_scatter_block needs exactly one segment per rank"
+        );
+        let mut slots: Vec<Option<T>> = segments.into_iter().map(Some).collect();
+        if p == 1 {
+            return slots[0].take().expect("one segment at p=1");
+        }
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        let mut outgoing = slots[left].take().expect("segments are distinct");
+        for s in 1..p {
+            let bytes = bytes_of(&outgoing);
+            self.send_with_bytes(right, TAG_REDUCE_SCATTER, outgoing, bytes);
+            let incoming: T = self.recv(left, TAG_REDUCE_SCATTER);
+            let own = slots[(r + p - 1 - s) % p].take().expect("each slot taken once");
+            outgoing = combine(incoming, own);
+        }
+        debug_assert!(slots.iter().all(Option::is_none));
+        outgoing
+    }
+
+    /// Ring allgather without call accounting. Step `s ∈ 1..p`: forward
+    /// the value received last step (initially your own) to the right,
+    /// receive rank `(r − s) mod p`'s value from the left.
+    pub(crate) fn allgather_ring_impl<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: &impl Fn(&T) -> usize,
+    ) -> Vec<T> {
+        let p = self.size();
+        let r = self.rank();
+        if p == 1 {
+            return vec![value];
+        }
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        let mut travelling = value.clone();
+        slots[r] = Some(value);
+        for s in 1..p {
+            let bytes = bytes_of(&travelling);
+            self.send_with_bytes(right, TAG_ALLGATHER_RING, travelling, bytes);
+            let incoming: T = self.recv(left, TAG_ALLGATHER_RING);
+            slots[(r + p - s) % p] = Some(incoming.clone());
+            travelling = incoming;
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled after p-1 steps"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Runtime;
+    use crate::stats::CallKind;
+
+    #[test]
+    fn reduce_scatter_leaves_each_rank_its_combined_segment() {
+        for p in [1usize, 2, 3, 4, 7, 8, 9] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let r = comm.rank() as u64;
+                // Rank r contributes value r·100 + j to segment j.
+                let segments: Vec<u64> = (0..p as u64).map(|j| r * 100 + j).collect();
+                comm.reduce_scatter_block(segments, |_| 8, |a, b| a + b)
+            });
+            for (rank, got) in outcome.results.into_iter().enumerate() {
+                let expected: u64 =
+                    (0..p as u64).map(|r| r * 100 + rank as u64).sum();
+                assert_eq!(got, expected, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_ring_matches_binomial_allgather() {
+        for p in [1usize, 2, 5, 8] {
+            let outcome = Runtime::new(p).run(|comm| {
+                let mine = format!("r{}", comm.rank());
+                let ring = comm.allgather_ring(mine.clone(), |s: &String| s.len());
+                let binomial = comm.allgather(mine);
+                (ring, binomial)
+            });
+            let expected: Vec<String> = (0..p).map(|r| format!("r{r}")).collect();
+            for (ring, binomial) in outcome.results {
+                assert_eq!(ring, expected, "p={p}");
+                assert_eq!(binomial, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_reduce_scatter_matches_whole_state_schedules() {
+        for p in [1usize, 2, 3, 5, 8, 9, 16] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let r = comm.rank() as u64;
+                let mine: Vec<u64> = (0..13).map(|i| r * 1000 + i).collect();
+                let rs = comm.allreduce_reduce_scatter(
+                    mine.clone(),
+                    |v, parts| gv_core::split::split_vec_segments(v, parts),
+                    gv_core::split::unsplit_vec_segments,
+                    |v: &Vec<u64>| v.len() * 8,
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                let reference = comm.allreduce_reduce_bcast(
+                    mine,
+                    true,
+                    |v: &Vec<u64>| v.len() * 8,
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                );
+                (rs, reference)
+            });
+            for (rank, (rs, reference)) in outcome.results.into_iter().enumerate() {
+                assert_eq!(rs, reference, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_allreduce_counts_one_allreduce_call_per_rank() {
+        let outcome = Runtime::new(4).run(|comm| {
+            comm.allreduce_reduce_scatter(
+                vec![1u64; 16],
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                |v: &Vec<u64>| v.len() * 8,
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        });
+        assert_eq!(outcome.stats.calls(CallKind::Allreduce), 4);
+        assert_eq!(
+            outcome.stats.calls(CallKind::ReduceScatter),
+            0,
+            "inner reduce-scatter not double-counted"
+        );
+        assert_eq!(outcome.stats.calls(CallKind::Allgather), 0);
+    }
+
+    #[test]
+    fn ring_allreduce_is_cheaper_than_reduce_bcast_for_large_states() {
+        // 64 KiB state at p = 8: bandwidth dominates, segments are 8 KiB.
+        let time = |ring: bool| {
+            Runtime::new(8)
+                .run(move |comm| {
+                    let state = vec![0u64; 8 << 10]; // 64 KiB
+                    let wire = |v: &Vec<u64>| v.len() * 8;
+                    let add = |mut a: Vec<u64>, b: Vec<u64>| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    };
+                    if ring {
+                        comm.allreduce_reduce_scatter(
+                            state,
+                            gv_core::split::split_vec_segments,
+                            gv_core::split::unsplit_vec_segments,
+                            wire,
+                            add,
+                        );
+                    } else {
+                        comm.allreduce_reduce_bcast(state, true, wire, add);
+                    }
+                })
+                .modeled_seconds
+        };
+        let t_ring = time(true);
+        let t_rb = time(false);
+        assert!(t_ring < t_rb, "ring={t_ring} reduce+bcast={t_rb}");
+    }
+}

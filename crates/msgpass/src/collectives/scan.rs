@@ -48,6 +48,13 @@ impl Comm {
 
     /// Both scans at once (one communication schedule): `(exclusive,
     /// inclusive)`, with `None` as rank 0's exclusive part.
+    ///
+    /// **Accounting convention**: one schedule, one call — recorded as a
+    /// single [`CallKind::Scan`] (the inclusive result is the primary;
+    /// the exclusive half is a free by-product of the same rounds, as an
+    /// MPI trace of the underlying traffic would show one collective).
+    /// `CallKind::Exscan` counts only dedicated
+    /// [`scan_exclusive`](Self::scan_exclusive) calls.
     pub fn scan_both<T: Clone + Send + 'static>(
         &self,
         value: T,

@@ -1,0 +1,193 @@
+//! Cost-driven allreduce algorithm selection.
+//!
+//! The runtime has three allreduce schedules with different α–β profiles
+//! and different correctness preconditions (see
+//! [`AllreduceAlgorithm`]); these entry points pick the cheapest
+//! *eligible* one per call from the communicator's cost model, the
+//! call's wire size, and the operator's commutativity — the paper's
+//! point that the operator abstraction (its `COMMUTATIVE` flag included)
+//! is what lets the runtime choose better combine schedules.
+//!
+//! [`Comm::allreduce`] is the scalar-state entry point (reduce-scatter
+//! ineligible: nothing to split); [`Comm::allreduce_splittable`] is the
+//! full three-way selector for states that split into per-rank segments.
+
+use crate::comm::Comm;
+use crate::cost::AllreduceAlgorithm;
+
+impl Comm {
+    /// Picks the cheapest eligible allreduce schedule for a state of
+    /// `wire_bytes` bytes under this communicator's cost model.
+    /// `splittable` says whether the caller could run reduce-scatter +
+    /// allgather at all (it also needs `commutative`).
+    pub fn select_allreduce_algorithm(
+        &self,
+        wire_bytes: usize,
+        commutative: bool,
+        splittable: bool,
+    ) -> AllreduceAlgorithm {
+        AllreduceAlgorithm::select(
+            &self.cost_model(),
+            self.size(),
+            wire_bytes,
+            commutative,
+            splittable,
+        )
+    }
+
+    /// Allreduce with cost-driven schedule selection for whole (scalar,
+    /// unsplittable) states: recursive doubling vs. reduce+broadcast.
+    /// `commutative` is the operator's flag; both candidate schedules are
+    /// rank-order safe, so a non-commutative operator only restricts the
+    /// combine order, never correctness.
+    pub fn allreduce<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        commutative: bool,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        match self.select_allreduce_algorithm(bytes_of(&value), commutative, false) {
+            AllreduceAlgorithm::ReduceBroadcast => {
+                self.allreduce_reduce_bcast(value, commutative, bytes_of, combine)
+            }
+            _ => self.allreduce_recursive_doubling(value, bytes_of, combine),
+        }
+    }
+
+    /// Allreduce with the full three-way schedule selection for states
+    /// the caller can split into per-rank segments. `split(state, parts)`
+    /// must return exactly `parts` segments and `unsplit` must invert it
+    /// (the `SplittableState` laws in `gv-core`); both run locally and
+    /// are only called when reduce-scatter + allgather wins.
+    pub fn allreduce_splittable<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        commutative: bool,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        match self.select_allreduce_algorithm(bytes_of(&value), commutative, true) {
+            AllreduceAlgorithm::ReduceScatterAllgather => {
+                self.allreduce_reduce_scatter(value, split, unsplit, bytes_of, combine)
+            }
+            AllreduceAlgorithm::ReduceBroadcast => {
+                self.allreduce_reduce_bcast(value, commutative, bytes_of, combine)
+            }
+            AllreduceAlgorithm::RecursiveDoubling => {
+                self.allreduce_recursive_doubling(value, bytes_of, combine)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::AllreduceAlgorithm;
+    use crate::runtime::Runtime;
+    use crate::stats::CallKind;
+
+    fn add(mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    }
+
+    fn wire(v: &Vec<u64>) -> usize {
+        v.len() * 8
+    }
+
+    #[test]
+    fn selector_uses_recursive_doubling_for_small_states() {
+        let outcome = Runtime::new(8).run(|comm| {
+            comm.allreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b)
+        });
+        assert_eq!(outcome.results, vec![28; 8]);
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling),
+            8
+        );
+    }
+
+    #[test]
+    fn splittable_selector_uses_ring_for_large_commutative_states() {
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 8 << 10]; // 64 KiB
+            comm.allreduce_splittable(
+                state,
+                true,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        for res in &outcome.results {
+            assert_eq!(res, &vec![28u64; 8 << 10]);
+        }
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::ReduceScatterAllgather),
+            8
+        );
+        assert_eq!(outcome.stats.calls(CallKind::Allreduce), 8);
+    }
+
+    #[test]
+    fn splittable_selector_falls_back_when_not_commutative() {
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 8 << 10];
+            comm.allreduce_splittable(
+                state,
+                false, // declared non-commutative: ring is ineligible
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        for res in &outcome.results {
+            assert_eq!(res, &vec![28u64; 8 << 10]);
+        }
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::ReduceScatterAllgather),
+            0
+        );
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling),
+            8
+        );
+    }
+
+    #[test]
+    fn every_selected_schedule_matches_the_oracle() {
+        for p in 1..=9usize {
+            for commutative in [true, false] {
+                let outcome = Runtime::new(p).run(move |comm| {
+                    comm.allreduce_splittable(
+                        vec![comm.rank() as u64 + 1; 64],
+                        commutative,
+                        gv_core::split::split_vec_segments,
+                        gv_core::split::unsplit_vec_segments,
+                        wire,
+                        add,
+                    )
+                });
+                let total = (p * (p + 1) / 2) as u64;
+                for res in outcome.results {
+                    assert_eq!(res, vec![total; 64], "p={p} commutative={commutative}");
+                }
+            }
+        }
+    }
+}

@@ -69,6 +69,111 @@ impl Default for CostModel {
     }
 }
 
+/// The allreduce schedules the runtime can choose between.
+///
+/// Selection is cost-driven: [`AllreduceAlgorithm::select`] evaluates the
+/// α–β estimate of each *eligible* algorithm for the call's rank count and
+/// wire size and picks the cheapest. Eligibility is a correctness matter,
+/// not a cost one: the ring reduce-scatter combines segments in rotated
+/// ring order, so it needs a commutative operator *and* a splittable
+/// state; recursive doubling and reduce+broadcast preserve rank order and
+/// work for any operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum AllreduceAlgorithm {
+    /// Binomial reduce to rank 0, then binomial broadcast:
+    /// `2⌈log₂p⌉(α + βn)`. Never the α–β winner — it exists as the
+    /// compatibility baseline (and as the only rooted-reduce reuse path).
+    ReduceBroadcast,
+    /// Recursive doubling with a fold/unfold step for non-powers of two:
+    /// `(⌈log₂p⌉ + 2·[p not a power of two])(α + βn)`. Latency-optimal;
+    /// safe for non-commutative operators.
+    RecursiveDoubling,
+    /// Ring reduce-scatter then ring allgather (Rabenseifner-style):
+    /// `2(p−1)(α + βn/p)`. Bandwidth-optimal for large states; requires
+    /// commutativity and a splittable state.
+    ReduceScatterAllgather,
+}
+
+impl AllreduceAlgorithm {
+    /// All algorithms, for iteration and display.
+    pub const ALL: [AllreduceAlgorithm; 3] = [
+        AllreduceAlgorithm::ReduceBroadcast,
+        AllreduceAlgorithm::RecursiveDoubling,
+        AllreduceAlgorithm::ReduceScatterAllgather,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllreduceAlgorithm::ReduceBroadcast => "reduce+bcast",
+            AllreduceAlgorithm::RecursiveDoubling => "recursive-doubling",
+            AllreduceAlgorithm::ReduceScatterAllgather => "reduce-scatter+allgather",
+        }
+    }
+
+    /// α–β estimate of one allreduce of a `bytes`-byte state over
+    /// `ranks` ranks (critical-path transit time only; combine compute is
+    /// identical across algorithms to first order and is left out).
+    pub fn estimated_seconds(self, cost: &CostModel, ranks: usize, bytes: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let p = ranks as f64;
+        let hop = cost.transit(bytes);
+        match self {
+            AllreduceAlgorithm::ReduceBroadcast => {
+                2.0 * p.log2().ceil() * hop
+            }
+            AllreduceAlgorithm::RecursiveDoubling => {
+                let extra = if ranks.is_power_of_two() { 0.0 } else { 2.0 };
+                (p.log2().floor() + extra) * hop
+            }
+            AllreduceAlgorithm::ReduceScatterAllgather => {
+                // Segments are ⌈n/p⌉ bytes; 2(p−1) pipelined ring steps.
+                let seg = bytes.div_ceil(ranks);
+                2.0 * (p - 1.0) * cost.transit(seg)
+            }
+        }
+    }
+
+    /// Picks the cheapest eligible algorithm for one allreduce call.
+    ///
+    /// `commutative` is the operator's flag; `splittable` says whether the
+    /// caller can split the state into per-rank segments. Reduce-scatter +
+    /// allgather is only eligible when both hold. Ties go to the earlier
+    /// entry of the preference order (recursive doubling first), so the
+    /// latency-optimal schedule wins when the model cannot separate them.
+    pub fn select(
+        cost: &CostModel,
+        ranks: usize,
+        bytes: usize,
+        commutative: bool,
+        splittable: bool,
+    ) -> AllreduceAlgorithm {
+        let candidates = [
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::ReduceScatterAllgather,
+            AllreduceAlgorithm::ReduceBroadcast,
+        ];
+        let mut best = AllreduceAlgorithm::RecursiveDoubling;
+        let mut best_cost = f64::INFINITY;
+        for algo in candidates {
+            if algo == AllreduceAlgorithm::ReduceScatterAllgather
+                && !(commutative && splittable && ranks >= 2)
+            {
+                continue;
+            }
+            let estimate = algo.estimated_seconds(cost, ranks, bytes);
+            if estimate < best_cost {
+                best = algo;
+                best_cost = estimate;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +199,55 @@ mod tests {
     #[test]
     fn default_is_cluster_2006() {
         assert_eq!(CostModel::default(), CostModel::cluster_2006());
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_free() {
+        let m = CostModel::cluster_2006();
+        for algo in AllreduceAlgorithm::ALL {
+            assert_eq!(algo.estimated_seconds(&m, 1, 1 << 20), 0.0);
+            assert_eq!(algo.estimated_seconds(&m, 0, 1 << 20), 0.0);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_wins_small_states() {
+        let m = CostModel::cluster_2006();
+        // 8 bytes at p=8: latency dominates; RS+AG pays 14 hops vs RD's 3.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 8, true, true),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_wins_large_splittable_states() {
+        let m = CostModel::cluster_2006();
+        // 64 KiB at p=8: bandwidth dominates; RS+AG ships n/p per hop.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 64 << 10, true, true),
+            AllreduceAlgorithm::ReduceScatterAllgather
+        );
+        // Same size but non-commutative or unsplittable: falls back.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 64 << 10, false, true),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 64 << 10, true, false),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn reduce_broadcast_is_never_cheaper_than_recursive_doubling() {
+        let m = CostModel::cluster_2006();
+        for p in 2..64usize {
+            for bytes in [1usize, 64, 4 << 10, 1 << 20] {
+                let rb = AllreduceAlgorithm::ReduceBroadcast.estimated_seconds(&m, p, bytes);
+                let rd = AllreduceAlgorithm::RecursiveDoubling.estimated_seconds(&m, p, bytes);
+                assert!(rd <= rb, "p={p} bytes={bytes}: rd={rd} rb={rb}");
+            }
+        }
     }
 }

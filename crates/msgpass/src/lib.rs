@@ -36,7 +36,7 @@ pub mod runtime;
 pub mod stats;
 
 pub use comm::Comm;
-pub use cost::CostModel;
+pub use cost::{AllreduceAlgorithm, CostModel};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
 pub use runtime::{RunOutcome, Runtime};

@@ -18,9 +18,8 @@
 use crate::comm::Comm;
 
 /// `LOCAL_REDUCE`: reduction of one value per rank; `Some(result)` on
-/// `root`, `None` elsewhere. `commutative` permits availability-order
-/// combining on wide trees (here: binomial, so order is rank order either
-/// way).
+/// `root`, `None` elsewhere. The tree is binomial, so the combine order
+/// is rank order regardless of commutativity.
 pub fn local_reduce<T: Send + 'static>(
     comm: &Comm,
     root: usize,
@@ -31,13 +30,15 @@ pub fn local_reduce<T: Send + 'static>(
 }
 
 /// `LOCAL_ALLREDUCE`: reduction of one value per rank, result on every
-/// rank.
+/// rank. Declared commutative: the local-view routines mirror MPI's
+/// built-in operators, which all are; non-commutative user operators go
+/// through the global-view layer, which plumbs `Op::COMMUTATIVE`.
 pub fn local_allreduce<T: Clone + Send + 'static>(
     comm: &Comm,
     value: T,
     combine: impl FnMut(T, T) -> T,
 ) -> T {
-    comm.allreduce(value, |_| std::mem::size_of::<T>(), combine)
+    comm.allreduce(value, true, |_| std::mem::size_of::<T>(), combine)
 }
 
 /// `LOCAL_SCAN`: inclusive scan of one value per rank. Needs no identity
@@ -128,7 +129,7 @@ pub fn local_allreduce_agg<T: Clone + Send + 'static>(
     values: Vec<T>,
     combine: impl FnMut(T, T) -> T,
 ) -> Vec<T> {
-    comm.allreduce(values, vec_bytes, combine_elementwise(combine))
+    comm.allreduce(values, true, vec_bytes, combine_elementwise(combine))
 }
 
 /// Aggregated `LOCAL_SCAN` (element-wise inclusive scan across ranks).

@@ -15,7 +15,7 @@ use crate::stats::{Stats, StatsSnapshot};
 /// use gv_msgpass::Runtime;
 ///
 /// let outcome = Runtime::new(4).run(|comm| {
-///     comm.allreduce(comm.rank() as u64, |_| 8, |a, b| a + b)
+///     comm.allreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b)
 /// });
 /// assert_eq!(outcome.results, vec![6, 6, 6, 6]);
 /// ```
@@ -227,7 +227,7 @@ mod tests {
         let outcome = Runtime::new(6).run(|comm| {
             let color = (comm.rank() % 2) as i64;
             let sub = comm.split(color, comm.rank() as i64);
-            let total = sub.allreduce(comm.rank() as u64, |_| 8, |a, b| a + b);
+            let total = sub.allreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b);
             (sub.rank(), sub.size(), total)
         });
         // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.

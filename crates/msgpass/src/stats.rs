@@ -9,6 +9,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cost::AllreduceAlgorithm;
+
 /// Kinds of communication operations the runtime counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
@@ -29,6 +31,8 @@ pub enum CallKind {
     Reduce,
     /// Allreduce collective.
     Allreduce,
+    /// Reduce-scatter collective (each rank ends with one combined block).
+    ReduceScatter,
     /// Inclusive scan collective.
     Scan,
     /// Exclusive scan collective.
@@ -39,7 +43,7 @@ pub enum CallKind {
 
 impl CallKind {
     /// All kinds, for iteration and display.
-    pub const ALL: [CallKind; 11] = [
+    pub const ALL: [CallKind; 12] = [
         CallKind::Send,
         CallKind::Barrier,
         CallKind::Bcast,
@@ -48,6 +52,7 @@ impl CallKind {
         CallKind::Allgather,
         CallKind::Reduce,
         CallKind::Allreduce,
+        CallKind::ReduceScatter,
         CallKind::Scan,
         CallKind::Exscan,
         CallKind::Alltoallv,
@@ -58,7 +63,11 @@ impl CallKind {
     pub fn is_reduction_or_scan(self) -> bool {
         matches!(
             self,
-            CallKind::Reduce | CallKind::Allreduce | CallKind::Scan | CallKind::Exscan
+            CallKind::Reduce
+                | CallKind::Allreduce
+                | CallKind::ReduceScatter
+                | CallKind::Scan
+                | CallKind::Exscan
         )
     }
 
@@ -73,6 +82,7 @@ impl CallKind {
             CallKind::Allgather => "allgather",
             CallKind::Reduce => "reduce",
             CallKind::Allreduce => "allreduce",
+            CallKind::ReduceScatter => "reduce_scatter",
             CallKind::Scan => "scan",
             CallKind::Exscan => "exscan",
             CallKind::Alltoallv => "alltoallv",
@@ -81,11 +91,13 @@ impl CallKind {
 }
 
 const KINDS: usize = CallKind::ALL.len();
+const ALGOS: usize = AllreduceAlgorithm::ALL.len();
 
 /// Lock-free counters shared by every rank of a runtime.
 #[derive(Debug, Default)]
 pub struct Stats {
     calls: [AtomicU64; KINDS],
+    allreduce_algorithms: [AtomicU64; ALGOS],
     messages: AtomicU64,
     bytes: AtomicU64,
 }
@@ -102,6 +114,12 @@ impl Stats {
         self.calls[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records which schedule one allreduce call used (once per rank per
+    /// call, alongside its [`CallKind::Allreduce`] record).
+    pub fn record_allreduce_algorithm(&self, algo: AllreduceAlgorithm) {
+        self.allreduce_algorithms[algo as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one wire message of `bytes` bytes.
     pub fn record_message(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
@@ -114,8 +132,13 @@ impl Stats {
         for (slot, counter) in calls.iter_mut().zip(&self.calls) {
             *slot = counter.load(Ordering::Relaxed);
         }
+        let mut allreduce_algorithms = [0u64; ALGOS];
+        for (slot, counter) in allreduce_algorithms.iter_mut().zip(&self.allreduce_algorithms) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             calls,
+            allreduce_algorithms,
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
         }
@@ -126,6 +149,7 @@ impl Stats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     calls: [u64; KINDS],
+    allreduce_algorithms: [u64; ALGOS],
     /// Total wire messages.
     pub messages: u64,
     /// Total wire bytes.
@@ -136,6 +160,11 @@ impl StatsSnapshot {
     /// Number of calls of `kind`.
     pub fn calls(&self, kind: CallKind) -> u64 {
         self.calls[kind as usize]
+    }
+
+    /// Number of allreduce calls that used `algo`.
+    pub fn allreduce_algorithm_calls(&self, algo: AllreduceAlgorithm) -> u64 {
+        self.allreduce_algorithms[algo as usize]
     }
 
     /// Total calls across all kinds.
@@ -158,16 +187,26 @@ impl StatsSnapshot {
             .sum()
     }
 
-    /// Difference against an earlier snapshot.
+    /// Difference against an earlier snapshot. Saturates at zero per
+    /// counter, so passing snapshots in the wrong order yields zeros
+    /// rather than a debug-build panic.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut calls = [0u64; KINDS];
         for (slot, (now, then)) in calls.iter_mut().zip(self.calls.iter().zip(&earlier.calls)) {
-            *slot = now - then;
+            *slot = now.saturating_sub(*then);
+        }
+        let mut allreduce_algorithms = [0u64; ALGOS];
+        for (slot, (now, then)) in allreduce_algorithms
+            .iter_mut()
+            .zip(self.allreduce_algorithms.iter().zip(&earlier.allreduce_algorithms))
+        {
+            *slot = now.saturating_sub(*then);
         }
         StatsSnapshot {
             calls,
-            messages: self.messages - earlier.messages,
-            bytes: self.bytes - earlier.bytes,
+            allreduce_algorithms,
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
         }
     }
 }
@@ -204,6 +243,43 @@ mod tests {
         assert_eq!(delta.calls(CallKind::Reduce), 1);
         assert_eq!(delta.messages, 1);
         assert_eq!(delta.bytes, 8);
+    }
+
+    #[test]
+    fn since_in_wrong_order_saturates_instead_of_panicking() {
+        let stats = Stats::new();
+        stats.record_call(CallKind::Allreduce);
+        stats.record_allreduce_algorithm(AllreduceAlgorithm::RecursiveDoubling);
+        stats.record_message(16);
+        let later = stats.snapshot();
+        stats.record_call(CallKind::Allreduce);
+        stats.record_message(16);
+        let latest = stats.snapshot();
+        // Arguments swapped: every counter clamps to zero.
+        let wrong = later.since(&latest);
+        assert_eq!(wrong.calls(CallKind::Allreduce), 0);
+        assert_eq!(wrong.messages, 0);
+        assert_eq!(wrong.bytes, 0);
+        // The right order still subtracts exactly.
+        let right = latest.since(&later);
+        assert_eq!(right.calls(CallKind::Allreduce), 1);
+        assert_eq!(right.messages, 1);
+        assert_eq!(right.bytes, 16);
+    }
+
+    #[test]
+    fn allreduce_algorithm_counters_track_separately() {
+        let stats = Stats::new();
+        stats.record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+        stats.record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+        stats.record_allreduce_algorithm(AllreduceAlgorithm::ReduceBroadcast);
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.allreduce_algorithm_calls(AllreduceAlgorithm::ReduceScatterAllgather),
+            2
+        );
+        assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::ReduceBroadcast), 1);
+        assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling), 0);
     }
 
     #[test]

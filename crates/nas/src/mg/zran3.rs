@@ -103,10 +103,13 @@ pub fn extrema_mpi(comm: &Comm, slab: &Slab, k: usize) -> TopBottom<f64, u64> {
 }
 
 /// RSMPI-style extrema search: one user-defined reduction over
-/// `(value, global_index)` pairs streamed from the slab.
+/// `(value, global_index)` pairs streamed from the slab. `TopBottomK`
+/// is splittable (and commutative), so the runtime is free to pick the
+/// reduce-scatter + allgather schedule when the state is large enough to
+/// warrant it — still one `Allreduce` call per rank either way.
 pub fn extrema_rsmpi(comm: &Comm, slab: &Slab, k: usize) -> TopBottom<f64, u64> {
     let op = TopBottomK::<f64, u64>::new(k);
-    gv_rsmpi::reduce::reduce_all_from_iter(
+    gv_rsmpi::reduce::reduce_all_from_iter_splittable(
         comm,
         &op,
         slab.iter_cells()

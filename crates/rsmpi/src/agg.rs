@@ -52,7 +52,13 @@ where
     Op::State: Clone + Send + 'static,
 {
     let states = accumulate_rows_local(comm, op, rows);
-    let combined = comm.allreduce(states, |s| states_bytes(op, s), combine_states(comm, op));
+    // Slot-wise combining inherits the operator's commutativity.
+    let combined = comm.allreduce(
+        states,
+        Op::COMMUTATIVE,
+        |s| states_bytes(op, s),
+        combine_states(comm, op),
+    );
     combined.into_iter().map(|s| op.red_gen(s)).collect()
 }
 

@@ -35,7 +35,7 @@ impl<'c, T> DistVector<'c, T> {
     pub fn from_local(comm: &'c Comm, local: Vec<T>) -> Self {
         let n = local.len() as u64;
         let offset = comm.scan_exclusive(n, || 0, |_| 8, |a, b| a + b);
-        let global_len = comm.allreduce(n, |_| 8, |a, b| a + b);
+        let global_len = comm.allreduce(n, true, |_| 8, |a, b| a + b);
         DistVector {
             comm,
             local,

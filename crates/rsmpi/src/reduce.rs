@@ -18,6 +18,7 @@
 //! rank order whenever the operator is non-commutative.
 
 use gv_core::op::{accumulate_block, ReduceScanOp};
+use gv_core::split::SplittableState;
 use gv_msgpass::Comm;
 
 /// Runs the accumulate phase of Listing 2 for this rank's block and
@@ -46,31 +47,11 @@ pub(crate) fn combining<'a, Op: ReduceScanOp>(
     }
 }
 
-/// Global-view reduction delivering the result to every rank — the paper's
-/// `RSMPI_Reduceall`.
-///
-/// `local` is this rank's contiguous block of the conceptual global array
-/// (blocks are concatenated in rank order).
-pub fn reduce_all<Op>(comm: &Comm, op: &Op, local: &[Op::In]) -> Op::Out
+/// Runs the accumulate phase over a streamed iterator of inputs and
+/// charges its modeled compute cost.
+pub(crate) fn accumulate_local_from_iter<Op, I>(comm: &Comm, op: &Op, values: I) -> Op::State
 where
     Op: ReduceScanOp,
-    Op::State: Clone + Send + 'static,
-{
-    let state = accumulate_local(comm, op, local);
-    let combined = comm.allreduce(state, |s| op.wire_size(s), combining(comm, op));
-    op.red_gen(combined)
-}
-
-/// [`reduce_all`] over a streamed local block: the paper's RSMPI call
-/// sites pass an *iterator* describing the values each processor
-/// accumulates ("the programmer first defines an iterator to describe the
-/// values passed to the accumulate function"), so large conceptual arrays
-/// — e.g. `(value, global_index)` pairs over a grid — never need to be
-/// materialized.
-pub fn reduce_all_from_iter<Op, I>(comm: &Comm, op: &Op, values: I) -> Op::Out
-where
-    Op: ReduceScanOp,
-    Op::State: Clone + Send + 'static,
     I: IntoIterator<Item = Op::In>,
 {
     let mut state = op.ident();
@@ -89,8 +70,94 @@ where
         op.post_accum(&mut state, l);
     }
     comm.advance(count * op.accum_ops());
-    let combined = comm.allreduce(state, |s| op.wire_size(s), combining(comm, op));
-    op.red_gen(combined)
+    state
+}
+
+/// Cross-rank combine of an already-accumulated state: cost-selected
+/// allreduce with the operator's commutativity flag plumbed through —
+/// the paper's point that the declaration is the runtime's license to
+/// reorder combining.
+pub(crate) fn allreduce_state<Op>(comm: &Comm, op: &Op, state: Op::State) -> Op::State
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+{
+    comm.allreduce(
+        state,
+        Op::COMMUTATIVE,
+        |s| op.wire_size(s),
+        combining(comm, op),
+    )
+}
+
+/// Like [`allreduce_state`] but for [`SplittableState`] operators: the
+/// selector may additionally choose the bandwidth-optimal reduce-scatter
+/// + allgather schedule (only when the operator is also commutative).
+pub(crate) fn allreduce_state_splittable<Op>(comm: &Comm, op: &Op, state: Op::State) -> Op::State
+where
+    Op: SplittableState,
+    Op::State: Clone + Send + 'static,
+{
+    comm.allreduce_splittable(
+        state,
+        Op::COMMUTATIVE,
+        |s, parts| op.split_state(s, parts),
+        |segments| op.unsplit_state(segments),
+        |s| op.wire_size(s),
+        combining(comm, op),
+    )
+}
+
+/// Global-view reduction delivering the result to every rank — the paper's
+/// `RSMPI_Reduceall`.
+///
+/// `local` is this rank's contiguous block of the conceptual global array
+/// (blocks are concatenated in rank order).
+pub fn reduce_all<Op>(comm: &Comm, op: &Op, local: &[Op::In]) -> Op::Out
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+{
+    let state = accumulate_local(comm, op, local);
+    op.red_gen(allreduce_state(comm, op, state))
+}
+
+/// [`reduce_all`] for operators with splittable states: eligible for the
+/// reduce-scatter + allgather schedule when the cost model favors it.
+pub fn reduce_all_splittable<Op>(comm: &Comm, op: &Op, local: &[Op::In]) -> Op::Out
+where
+    Op: SplittableState,
+    Op::State: Clone + Send + 'static,
+{
+    let state = accumulate_local(comm, op, local);
+    op.red_gen(allreduce_state_splittable(comm, op, state))
+}
+
+/// [`reduce_all`] over a streamed local block: the paper's RSMPI call
+/// sites pass an *iterator* describing the values each processor
+/// accumulates ("the programmer first defines an iterator to describe the
+/// values passed to the accumulate function"), so large conceptual arrays
+/// — e.g. `(value, global_index)` pairs over a grid — never need to be
+/// materialized.
+pub fn reduce_all_from_iter<Op, I>(comm: &Comm, op: &Op, values: I) -> Op::Out
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+    I: IntoIterator<Item = Op::In>,
+{
+    let state = accumulate_local_from_iter(comm, op, values);
+    op.red_gen(allreduce_state(comm, op, state))
+}
+
+/// [`reduce_all_from_iter`] for operators with splittable states.
+pub fn reduce_all_from_iter_splittable<Op, I>(comm: &Comm, op: &Op, values: I) -> Op::Out
+where
+    Op: SplittableState,
+    Op::State: Clone + Send + 'static,
+    I: IntoIterator<Item = Op::In>,
+{
+    let state = accumulate_local_from_iter(comm, op, values);
+    op.red_gen(allreduce_state_splittable(comm, op, state))
 }
 
 /// Global-view reduction delivering the result to `root` only — the
@@ -276,6 +343,48 @@ mod tests {
             vec![false; 8],
             "out-of-order combining must make the sorted check fail"
         );
+    }
+
+    #[test]
+    fn splittable_reduce_all_matches_plain_reduce_all() {
+        use gv_core::ops::counts::Counts;
+        use gv_core::ops::topk::TopBottomK;
+        let particles: Vec<usize> = (0..400).map(|i| (i * 7 + 3) % 16).collect();
+        let samples: Vec<(f64, u64)> = (0..300u64)
+            .map(|i| ((((i * 193) % 101) as f64) / 101.0, i))
+            .collect();
+        for p in [1usize, 2, 5, 8, 9] {
+            let counts_chunks: Vec<Vec<usize>> = chunk_ranges(particles.len(), p)
+                .map(|r| particles[r].to_vec())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                let op = Counts::new(16);
+                let split = reduce_all_splittable(comm, &op, &counts_chunks[comm.rank()]);
+                let plain = reduce_all(comm, &op, &counts_chunks[comm.rank()]);
+                (split, plain)
+            });
+            let expected = gv_core::seq::reduce(&Counts::new(16), &particles);
+            for (split, plain) in outcome.results {
+                assert_eq!(split, expected, "p={p}");
+                assert_eq!(plain, expected, "p={p}");
+            }
+
+            let topk_chunks: Vec<Vec<(f64, u64)>> = chunk_ranges(samples.len(), p)
+                .map(|r| samples[r].to_vec())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                let op = TopBottomK::<f64, u64>::new(10);
+                reduce_all_from_iter_splittable(
+                    comm,
+                    &op,
+                    topk_chunks[comm.rank()].iter().copied(),
+                )
+            });
+            let expected = gv_core::seq::reduce(&TopBottomK::<f64, u64>::new(10), &samples);
+            for got in outcome.results {
+                assert_eq!(got, expected, "topk p={p}");
+            }
+        }
     }
 
     #[test]

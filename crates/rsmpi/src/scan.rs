@@ -27,6 +27,26 @@ where
     Op: ReduceScanOp,
     Op::State: Clone + Send + 'static,
 {
+    scan_with_block_total(comm, op, local, kind).0
+}
+
+/// Scan that also returns the total reduction state (the running state
+/// after the last local element on the last rank is the global total;
+/// every rank returns its own block-final state).
+///
+/// The cross-rank prefix runs as a dedicated exclusive scan, so it is
+/// accounted as one `Exscan` call per rank (see the `scan_both`
+/// convention in `gv-msgpass`).
+pub fn scan_with_block_total<Op>(
+    comm: &Comm,
+    op: &Op,
+    local: &[Op::In],
+    kind: ScanKind,
+) -> (Vec<Op::Out>, Op::State)
+where
+    Op: ReduceScanOp,
+    Op::State: Clone + Send + 'static,
+{
     // Phase 1 (Listing 3 lines 1–8): local accumulate, hooks included.
     let state = accumulate_local(comm, op, local);
 
@@ -39,43 +59,6 @@ where
     );
 
     // Lines 10–13: rescan the local block from the incoming prefix state.
-    let mut out = Vec::with_capacity(local.len());
-    for x in local {
-        match kind {
-            ScanKind::Exclusive => {
-                out.push(op.scan_gen(&running, x));
-                op.accum(&mut running, x);
-            }
-            ScanKind::Inclusive => {
-                op.accum(&mut running, x);
-                out.push(op.scan_gen(&running, x));
-            }
-        }
-    }
-    comm.advance(local.len() as u64 * (op.accum_ops() + 1));
-    out
-}
-
-/// Scan that also returns the total reduction state (the running state
-/// after the last local element on the last rank is the global total;
-/// every rank returns its own block-final state).
-pub fn scan_with_block_total<Op>(
-    comm: &Comm,
-    op: &Op,
-    local: &[Op::In],
-    kind: ScanKind,
-) -> (Vec<Op::Out>, Op::State)
-where
-    Op: ReduceScanOp,
-    Op::State: Clone + Send + 'static,
-{
-    let state = accumulate_local(comm, op, local);
-    let mut running = comm.scan_exclusive(
-        state,
-        || op.ident(),
-        |s| op.wire_size(s),
-        combining(comm, op),
-    );
     let mut out = Vec::with_capacity(local.len());
     for x in local {
         match kind {

@@ -364,7 +364,7 @@ impl<S: Strategy> Strategy for VecOf<S> {
                 out.push(value[..half].to_vec());
                 out.push(value[n - half..].to_vec());
             }
-            if n - 1 >= self.min_len {
+            if n > self.min_len {
                 for i in 0..n {
                     let mut v = value.clone();
                     v.remove(i);

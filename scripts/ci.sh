@@ -10,4 +10,5 @@ set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace --benches
+cargo clippy --all-targets --offline -- -D warnings
 cargo test -q --offline --workspace

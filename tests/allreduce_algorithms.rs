@@ -1,0 +1,273 @@
+//! Property tests of the three allreduce schedules and the cost-driven
+//! selector, on the in-tree `gv-testkit` runner.
+//!
+//! The contract under test: reduce+bcast, recursive doubling, and
+//! reduce-scatter+allgather all compute the same rank-order reduction as
+//! a sequential fold — for every rank count in 1..17 (covering both
+//! powers of two and the fold/unfold edge cases), for commutative and
+//! non-commutative operators, and for splittable and scalar states —
+//! and the selector never picks an ineligible schedule.
+//!
+//! Every failure message prints a case seed; rerun just that input with
+//! `GV_TESTKIT_SEED=<seed> cargo test <test name>`.
+
+use gv_testkit::prop::{check, i64s, usizes, vec_of, Config};
+use gv_testkit::prop_assert_eq;
+
+use gv_core::ops::histogram::Histogram;
+use gv_core::ops::topk::TopBottomK;
+use gv_core::split::{split_vec_segments, unsplit_vec_segments};
+use gv_executor::chunk_ranges;
+use gv_msgpass::{AllreduceAlgorithm, CostModel, Runtime};
+
+fn cfg() -> Config {
+    Config::new(128)
+}
+
+#[test]
+fn scalar_schedules_agree_with_fold_oracle() {
+    check(
+        "scalar_schedules_agree_with_fold_oracle",
+        &cfg(),
+        &(vec_of(i64s(-1000..1000), 1..17), usizes(1..17)),
+        |(values, p)| {
+            let p = *p;
+            let per_rank: Vec<i64> = (0..p)
+                .map(|r| values.get(r % values.len()).copied().unwrap_or(0))
+                .collect();
+            let expected: i64 = per_rank.iter().sum();
+            let outcome = Runtime::new(p).run(|comm| {
+                let mine = per_rank[comm.rank()];
+                let selector = comm.allreduce(mine, true, |_| 8, |a, b| a + b);
+                let rb = comm.allreduce_reduce_bcast(mine, true, |_| 8, |a, b| a + b);
+                let rd = comm.allreduce_recursive_doubling(mine, |_| 8, |a, b| a + b);
+                (selector, rb, rd)
+            });
+            for (selector, rb, rd) in outcome.results {
+                prop_assert_eq!(selector, expected);
+                prop_assert_eq!(rb, expected);
+                prop_assert_eq!(rd, expected);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn noncommutative_schedules_preserve_rank_order() {
+    check(
+        "noncommutative_schedules_preserve_rank_order",
+        &cfg(),
+        &usizes(1..17),
+        |p| {
+            let p = *p;
+            let expected: String = (0..p).map(|r| format!("[{r}]")).collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                let mine = format!("[{}]", comm.rank());
+                let concat = |a: String, b: String| a + &b;
+                let wire = |s: &String| s.len();
+                let selector = comm.allreduce(mine.clone(), false, wire, concat);
+                let rb = comm.allreduce_reduce_bcast(mine.clone(), false, wire, concat);
+                let rd = comm.allreduce_recursive_doubling(mine, wire, concat);
+                (selector, rb, rd)
+            });
+            for (selector, rb, rd) in outcome.results {
+                prop_assert_eq!(&selector, &expected);
+                prop_assert_eq!(&rb, &expected);
+                prop_assert_eq!(&rd, &expected);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn splittable_schedules_agree_on_vector_states() {
+    // Vector lengths 0..40 over p in 1..17 cover len < p (empty
+    // segments), len == p, and len > p, plus the empty state.
+    check(
+        "splittable_schedules_agree_on_vector_states",
+        &cfg(),
+        &(vec_of(i64s(-500..500), 0..40), usizes(1..17)),
+        |(data, p)| {
+            let p = *p;
+            let len = data.len();
+            let expected: Vec<i64> = (0..len)
+                .map(|i| (0..p as i64).map(|r| data[i] + r).sum())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                let r = comm.rank() as i64;
+                let mine: Vec<i64> = data.iter().map(|&x| x + r).collect();
+                let wire = |v: &Vec<i64>| v.len() * 8;
+                let add = |mut a: Vec<i64>, b: Vec<i64>| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                };
+                let selected = comm.allreduce_splittable(
+                    mine.clone(),
+                    true,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+                let ring = comm.allreduce_reduce_scatter(
+                    mine.clone(),
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+                let rd = comm.allreduce_recursive_doubling(mine, wire, add);
+                (selected, ring, rd)
+            });
+            for (selected, ring, rd) in outcome.results {
+                prop_assert_eq!(&selected, &expected);
+                prop_assert_eq!(&ring, &expected);
+                prop_assert_eq!(&rd, &expected);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn splittable_global_view_reductions_match_sequential_oracle() {
+    check(
+        "splittable_global_view_reductions_match_sequential_oracle",
+        &cfg(),
+        &(vec_of(i64s(0..1000), 0..120), usizes(1..17)),
+        |(raw, p)| {
+            let p = *p;
+            // Histogram over f64 samples through reduce_all_splittable.
+            let samples: Vec<f64> = raw.iter().map(|&x| x as f64 / 10.0).collect();
+            let hist = Histogram::uniform(0.0, 100.0, 16);
+            let expected_hist = gv_core::seq::reduce(&hist, &samples);
+            let chunks: Vec<Vec<f64>> = chunk_ranges(samples.len(), p)
+                .map(|range| samples[range].to_vec())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                gv_rsmpi::reduce_all_splittable(
+                    comm,
+                    &Histogram::uniform(0.0, 100.0, 16),
+                    &chunks[comm.rank()],
+                )
+            });
+            for got in outcome.results {
+                prop_assert_eq!(&got, &expected_hist);
+            }
+
+            // TopBottomK over (value, index) pairs through the iterator
+            // entry point.
+            let pairs: Vec<(f64, u64)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u64))
+                .collect();
+            let op = TopBottomK::<f64, u64>::new(5);
+            let expected_topk = gv_core::seq::reduce(&op, &pairs);
+            let pair_chunks: Vec<Vec<(f64, u64)>> = chunk_ranges(pairs.len(), p)
+                .map(|range| pairs[range].to_vec())
+                .collect();
+            let outcome = Runtime::new(p).run(|comm| {
+                gv_rsmpi::reduce_all_from_iter_splittable(
+                    comm,
+                    &TopBottomK::<f64, u64>::new(5),
+                    pair_chunks[comm.rank()].iter().copied(),
+                )
+            });
+            for got in outcome.results {
+                prop_assert_eq!(&got, &expected_topk);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn selector_only_picks_eligible_schedules() {
+    check(
+        "selector_only_picks_eligible_schedules",
+        &cfg(),
+        &(usizes(1..64), usizes(0..21)),
+        |(p, log_bytes)| {
+            let cost = CostModel::cluster_2006();
+            let bytes = 1usize << *log_bytes;
+            for commutative in [true, false] {
+                for splittable in [true, false] {
+                    let picked =
+                        AllreduceAlgorithm::select(&cost, *p, bytes, commutative, splittable);
+                    if picked == AllreduceAlgorithm::ReduceScatterAllgather
+                        && !(commutative && splittable)
+                    {
+                        return Err(format!(
+                            "ring selected for commutative={commutative} \
+                             splittable={splittable} p={p} bytes={bytes}"
+                        ));
+                    }
+                    // The pick is never strictly worse than any other
+                    // eligible schedule.
+                    for other in AllreduceAlgorithm::ALL {
+                        if other == AllreduceAlgorithm::ReduceScatterAllgather
+                            && !(commutative && splittable)
+                        {
+                            continue;
+                        }
+                        let t_picked = picked.estimated_seconds(&cost, *p, bytes);
+                        let t_other = other.estimated_seconds(&cost, *p, bytes);
+                        if t_picked > t_other {
+                            return Err(format!(
+                                "{} (={t_picked}) beat by {} (={t_other}) at p={p} bytes={bytes}",
+                                picked.name(),
+                                other.name()
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn crossover_ring_beats_reduce_bcast_at_64kib_p8() {
+    // The acceptance pin: both in the α–β estimate and in the measured
+    // virtual clock, reduce-scatter+allgather wins for a 64 KiB
+    // splittable state at p = 8.
+    let cost = CostModel::cluster_2006();
+    let rsag = AllreduceAlgorithm::ReduceScatterAllgather.estimated_seconds(&cost, 8, 64 << 10);
+    let rb = AllreduceAlgorithm::ReduceBroadcast.estimated_seconds(&cost, 8, 64 << 10);
+    assert!(rsag < rb, "estimate: rsag={rsag} rb={rb}");
+
+    let measured = |ring: bool| {
+        Runtime::new(8)
+            .run(move |comm| {
+                let state = vec![1u64; 8 << 10]; // 64 KiB of u64s
+                let wire = |v: &Vec<u64>| v.len() * 8;
+                let add = |mut a: Vec<u64>, b: Vec<u64>| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                };
+                if ring {
+                    comm.allreduce_reduce_scatter(
+                        state,
+                        split_vec_segments,
+                        unsplit_vec_segments,
+                        wire,
+                        add,
+                    );
+                } else {
+                    comm.allreduce_reduce_bcast(state, true, wire, add);
+                }
+            })
+            .modeled_seconds
+    };
+    let t_ring = measured(true);
+    let t_rb = measured(false);
+    assert!(t_ring < t_rb, "measured: ring={t_ring} reduce+bcast={t_rb}");
+}

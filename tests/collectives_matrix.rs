@@ -2,12 +2,14 @@
 //!
 //! Every rank count from 1 through 9 (covering the power-of-two,
 //! one-off-a-power, and odd cases every schedule special-cases) ×
-//! every collective (rooted reduce at *every* root, allreduce by
-//! reduce+bcast and by recursive doubling, inclusive / exclusive /
-//! linear-chain scans, alltoallv) × a commutative payload (u64 sum)
-//! and a non-commutative one (string concatenation, which detects any
-//! out-of-rank-order combine) — all checked against a sequential
-//! oracle.
+//! every collective (rooted reduce at *every* root, allreduce via the
+//! cost-driven selector, by reduce+bcast, and by recursive doubling,
+//! inclusive / exclusive / linear-chain scans, alltoallv) × a
+//! commutative payload (u64 sum) and a non-commutative one (string
+//! concatenation, which detects any out-of-rank-order combine) — all
+//! checked against a sequential oracle. A second matrix runs the
+//! three-way splittable selector over vector payloads, including
+//! shorter-than-p vectors that force empty segments.
 //!
 //! A final test pins down that the virtual-clock cost model and the
 //! call/byte statistics are bit-for-bit deterministic across repeated
@@ -22,6 +24,7 @@ use gv_msgpass::Runtime;
 /// so the whole exercise stays `Fn + Sync` for the runtime.
 fn exercise_all_collectives<T>(
     p: usize,
+    commutative: bool,
     contrib: fn(usize) -> T,
     combine: fn(T, T) -> T,
     ident: fn() -> T,
@@ -56,11 +59,17 @@ fn exercise_all_collectives<T>(
             }
         }
 
-        // Both allreduce schedules deliver the total everywhere.
+        // The selector and both named allreduce schedules deliver the
+        // total everywhere, for either commutativity declaration.
         assert_eq!(
-            comm.allreduce(mine.clone(), wire, combine),
+            comm.allreduce(mine.clone(), commutative, wire, combine),
             total,
-            "allreduce, p={p}, rank={r}"
+            "allreduce (selector), p={p}, rank={r}, commutative={commutative}"
+        );
+        assert_eq!(
+            comm.allreduce_reduce_bcast(mine.clone(), commutative, wire, combine),
+            total,
+            "allreduce_reduce_bcast, p={p}, rank={r}, commutative={commutative}"
         );
         assert_eq!(
             comm.allreduce_recursive_doubling(mine.clone(), wire, combine),
@@ -97,6 +106,7 @@ fn commutative_collectives_match_oracle_for_p_1_through_9() {
         // contribution cannot cancel out.
         exercise_all_collectives::<u64>(
             p,
+            true,
             |r| (r as u64 + 1) * (r as u64 + 1),
             |a, b| a + b,
             || 0,
@@ -113,6 +123,7 @@ fn non_commutative_collectives_match_oracle_for_p_1_through_9() {
         // schedules that silently assume commutativity.
         exercise_all_collectives::<String>(
             p,
+            false,
             |r| format!("[{r}]"),
             |mut a, b| {
                 a.push_str(&b);
@@ -121,6 +132,53 @@ fn non_commutative_collectives_match_oracle_for_p_1_through_9() {
             String::new,
             |s| s.len(),
         );
+    }
+}
+
+#[test]
+fn splittable_selector_matches_oracle_for_p_1_through_9() {
+    // Vector payloads through the three-way selector: length 3 forces
+    // empty segments for p > 3; length 64 gives every rank a real chunk.
+    for p in 1..=9usize {
+        for len in [3usize, 64] {
+            for commutative in [true, false] {
+                Runtime::new(p).run(move |comm| {
+                    let r = comm.rank();
+                    let mine: Vec<u64> = (0..len).map(|i| (r * len + i) as u64).collect();
+                    let got = comm.allreduce_splittable(
+                        mine,
+                        commutative,
+                        gv_core::split::split_vec_segments,
+                        gv_core::split::unsplit_vec_segments,
+                        |v: &Vec<u64>| v.len() * 8,
+                        |mut a, b| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            a
+                        },
+                    );
+                    let expected: Vec<u64> = (0..len)
+                        .map(|i| (0..p).map(|q| (q * len + i) as u64).sum())
+                        .collect();
+                    assert_eq!(got, expected, "p={p} len={len} commutative={commutative}");
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_both_counts_one_scan_call_per_rank() {
+    // The documented convention: scan_both is one schedule, one call —
+    // recorded as a single Scan per rank, never as an extra Exscan.
+    for p in 1..=9usize {
+        let outcome = Runtime::new(p).run(|comm| {
+            comm.scan_both(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+        });
+        use gv_msgpass::CallKind;
+        assert_eq!(outcome.stats.calls(CallKind::Scan), p as u64, "p={p}");
+        assert_eq!(outcome.stats.calls(CallKind::Exscan), 0, "p={p}");
     }
 }
 
@@ -139,9 +197,9 @@ fn alltoallv_delivers_every_block_in_order_for_p_1_through_9() {
             let outgoing: Vec<Vec<u64>> = (0..p).map(|d| payload(r, d)).collect();
             let incoming = comm.alltoallv(outgoing);
             assert_eq!(incoming.len(), p, "alltoallv width, p={p}, rank={r}");
-            for s in 0..p {
+            for (s, block) in incoming.iter().enumerate() {
                 assert_eq!(
-                    incoming[s],
+                    *block,
                     payload(s, r),
                     "alltoallv block from {s}, p={p}, rank={r}"
                 );

@@ -289,6 +289,7 @@ fn non_commutative_ops_obey_the_laws() {
 // ---------------------------------------------------------------------
 
 #[test]
+#[allow(clippy::assertions_on_constants)] // pinning compile-time flags is the point
 fn non_commutative_ops_declare_it() {
     assert!(!<MaxSubarray as ReduceScanOp>::COMMUTATIVE);
     assert!(!<LongestRun<i64> as ReduceScanOp>::COMMUTATIVE);

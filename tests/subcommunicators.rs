@@ -48,8 +48,8 @@ fn world_and_subgroup_collectives_interleave_safely() {
         let sub = comm.split((comm.rank() % 2) as i64, 0);
         // Interleave world and subgroup collectives; communicator ids keep
         // the traffic apart.
-        let world_total = comm.allreduce(1u64, |_| 8, |a, b| a + b);
-        let group_total = sub.allreduce(10u64, |_| 8, |a, b| a + b);
+        let world_total = comm.allreduce(1u64, true, |_| 8, |a, b| a + b);
+        let group_total = sub.allreduce(10u64, true, |_| 8, |a, b| a + b);
         comm.barrier();
         let world_scan = comm.scan_inclusive(1u64, |_| 8, |a, b| a + b);
         (world_total, group_total, world_scan)
@@ -67,7 +67,7 @@ fn nested_splits() {
     let outcome = Runtime::new(8).run(|comm| {
         let half = comm.split((comm.rank() / 4) as i64, comm.rank() as i64);
         let quad = half.split((half.rank() / 2) as i64, half.rank() as i64);
-        let total = quad.allreduce(comm.rank() as u64, |_| 8, |a, b| a + b);
+        let total = quad.allreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b);
         (quad.size(), total)
     });
     for (rank, (size, total)) in outcome.results.into_iter().enumerate() {
@@ -84,7 +84,7 @@ fn interleaved_collective_stress() {
     let outcome = Runtime::new(6).run(|comm| {
         let mut checksum = 0u64;
         for round in 0..25u64 {
-            let s = comm.allreduce(round + comm.rank() as u64, |_| 8, |a, b| a + b);
+            let s = comm.allreduce(round + comm.rank() as u64, true, |_| 8, |a, b| a + b);
             let g = comm.allgather(round * 10 + comm.rank() as u64);
             let x = comm.scan_exclusive(1u64, || 0, |_| 8, |a, b| a + b);
             let b = comm.bcast(
