@@ -13,12 +13,17 @@
 //! * [`Receiver::recv`] drains remaining messages before reporting
 //!   disconnection (a sender dropping never loses queued messages).
 //!
-//! A Mutex+Condvar queue is deliberately chosen over something lock-free:
-//! the executor submits `p` coarse jobs per parallel region and the
-//! mailboxes carry collective-algorithm traffic, so contention is low and
-//! the simple implementation is fully inspectable — in keeping with this
+//! A Mutex+Condvar queue is deliberately chosen over something lock-free
+//! for the *pool* side: the executor submits `p` coarse jobs per parallel
+//! region, so contention there is genuinely low and the simple
+//! implementation is fully inspectable — in keeping with this
 //! repository's rule that correctness-critical infrastructure is owned
-//! code.
+//! code. The same assumption did **not** hold for rank-to-rank message
+//! traffic, where every matched receive paid a lock handoff on the
+//! latency-critical path; that role moved to the per-peer SPSC lanes in
+//! [`crate::lane`] (see DESIGN.md, "Rank-to-rank transport"). This
+//! channel remains the pool injector and the fallback
+//! `Transport::SharedMailbox` baseline.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};

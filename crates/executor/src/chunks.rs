@@ -52,6 +52,15 @@ where
         {
             let f = &f;
             let chunk = &data[range];
+            if chunk.is_empty() {
+                // `parts > len` leaves trailing empty chunks: they must
+                // still produce a state (the engines fold `ident()` out
+                // of them so `tree_combine` stays order-correct), but a
+                // pool round-trip for a no-input closure is pure
+                // overhead — run them inline.
+                *slot = Some(f(chunk_index, chunk));
+                continue;
+            }
             s.spawn(move || {
                 *slot = Some(f(chunk_index, chunk));
             });
@@ -87,6 +96,12 @@ where
     pool.scope(|s| {
         for (chunk_index, (slot, chunk)) in out.iter_mut().zip(pieces).enumerate() {
             let f = &f;
+            if chunk.is_empty() {
+                // Same as `par_map_chunks`: empty chunks still yield a
+                // state, but inline rather than through the pool.
+                *slot = Some(f(chunk_index, chunk));
+                continue;
+            }
             s.spawn(move || {
                 *slot = Some(f(chunk_index, chunk));
             });
@@ -108,6 +123,11 @@ where
     let len = range.len();
     pool.scope(|scope| {
         for chunk in chunk_ranges(len, parts) {
+            // Unlike the mapping helpers, an empty chunk produces
+            // nothing here, so it can be skipped outright.
+            if chunk.is_empty() {
+                continue;
+            }
             let f = &f;
             scope.spawn(move || {
                 for i in chunk {
@@ -187,6 +207,72 @@ mod tests {
         let data = [1u8, 2];
         let lens = par_map_chunks(&pool, &data, 5, |_, chunk| chunk.len());
         assert_eq!(lens, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn map_chunks_empty_input_still_produces_all_states() {
+        // `tree_combine` depends on every virtual processor producing a
+        // state even when it owns no elements: p states in, p idents out.
+        let pool = Pool::new(2);
+        let data: [u32; 0] = [];
+        let states = par_map_chunks(&pool, &data, 6, |i, chunk| {
+            assert!(chunk.is_empty());
+            (i, chunk.iter().sum::<u32>()) // the fold's ident() for sum
+        });
+        assert_eq!(states, (0..6).map(|i| (i, 0)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_chunks_runs_empty_chunks_inline() {
+        // Empty chunks must not pay a pool round-trip: they run on the
+        // calling thread, non-empty ones on workers.
+        let pool = Pool::new(2);
+        let caller = std::thread::current().id();
+        let data = [7u8];
+        let on_caller = par_map_chunks(&pool, &data, 4, |_, chunk| {
+            (chunk.len(), std::thread::current().id() == caller)
+        });
+        for (len, inline) in on_caller {
+            assert_eq!(inline, len == 0, "len={len}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_empty_input_still_produces_all_states() {
+        let pool = Pool::new(2);
+        let mut data: [u32; 0] = [];
+        let states = par_map_chunks_mut(&pool, &mut data, 5, |i, chunk| {
+            assert!(chunk.is_empty());
+            i
+        });
+        assert_eq!(states, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_chunks_mut_handles_more_parts_than_elements() {
+        let pool = Pool::new(2);
+        let mut data = [1u32, 2, 3];
+        let lens = par_map_chunks_mut(&pool, &mut data, 7, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 10;
+            }
+            chunk.len()
+        });
+        assert_eq!(lens, vec![1, 1, 1, 0, 0, 0, 0]);
+        assert_eq!(data, [11, 12, 13]);
+    }
+
+    #[test]
+    fn par_for_more_parts_than_indices_visits_each_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(0)).collect();
+        par_for(&pool, 0..3, 9, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "i={i}");
+        }
     }
 
     #[test]

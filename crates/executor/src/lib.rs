@@ -32,6 +32,7 @@
 pub mod barrier;
 pub mod channel;
 pub mod chunks;
+pub mod lane;
 pub mod pool;
 pub mod scope;
 

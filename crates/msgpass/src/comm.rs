@@ -8,15 +8,22 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use gv_executor::channel::Sender;
-
 use crate::cost::CostModel;
-use crate::mailbox::{Mailbox, ShutdownError, Source};
+use crate::mailbox::{Mailbox, PeerSender, ShutdownError, Source};
 use crate::message::{Packet, Tag};
 use crate::stats::{CallKind, Stats};
 
 /// Identifier of the world communicator.
 pub const WORLD_ID: u64 = 0;
+
+/// Default eager/queued protocol threshold, in modeled wire bytes.
+///
+/// Messages at or below this size move their envelope inline through the
+/// lane ring (*eager*); larger ones box the envelope so the ring carries
+/// only a pointer (*queued*). The collective schedules' control traffic
+/// (a few machine words) always lands eager. Tune per run with
+/// [`Comm::set_eager_threshold`] or `Runtime::eager_threshold`.
+pub const DEFAULT_EAGER_THRESHOLD: usize = 1024;
 
 /// Shared, cross-rank agreement on ids for derived communicators.
 ///
@@ -49,11 +56,19 @@ impl SplitRegistry {
 /// State shared by all communicators of one rank thread.
 pub(crate) struct RankCore {
     pub(crate) mailbox: RefCell<Mailbox>,
+    /// Sending endpoints to every rank, indexed by **world** rank. Owned
+    /// once per rank thread; derived communicators translate through
+    /// their member maps instead of cloning endpoints (SPSC lanes cannot
+    /// be cloned — one producer per lane is what makes them lock-free).
+    pub(crate) peers: Vec<PeerSender>,
     pub(crate) clock: Cell<f64>,
     pub(crate) cost: CostModel,
     pub(crate) stats: Arc<Stats>,
     pub(crate) registry: Arc<SplitRegistry>,
     pub(crate) aborted: Arc<AtomicBool>,
+    /// Eager/queued protocol threshold in modeled wire bytes (lane
+    /// transport only), shared by every communicator of this rank.
+    pub(crate) eager_threshold: Cell<usize>,
     /// Collective nesting depth: wire sends issued inside a collective are
     /// not *user* send calls (an MPI trace would not show them either), so
     /// `CallKind::Send` is only recorded at depth 0.
@@ -77,34 +92,42 @@ impl Drop for CollectiveGuard<'_> {
 pub struct Comm {
     id: u64,
     rank: usize,
-    /// Senders to every member, indexed by rank *within this communicator*.
-    peers: Vec<Sender<Packet>>,
+    /// World rank of every member, indexed by rank *within this
+    /// communicator* (`members[rank()] ==` this rank's world rank).
+    members: Vec<usize>,
     core: Rc<RankCore>,
     /// Number of `dup`s performed on this communicator (for id agreement).
     dups: Cell<u64>,
 }
 
+/// Everything the runtime wires into one rank's world communicator.
+pub(crate) struct WorldInit {
+    pub rank: usize,
+    pub peers: Vec<PeerSender>,
+    pub mailbox: Mailbox,
+    pub cost: CostModel,
+    pub stats: Arc<Stats>,
+    pub registry: Arc<SplitRegistry>,
+    pub aborted: Arc<AtomicBool>,
+    pub eager_threshold: usize,
+}
+
 impl Comm {
-    pub(crate) fn new_world(
-        rank: usize,
-        peers: Vec<Sender<Packet>>,
-        mailbox: Mailbox,
-        cost: CostModel,
-        stats: Arc<Stats>,
-        registry: Arc<SplitRegistry>,
-        aborted: Arc<AtomicBool>,
-    ) -> Self {
+    pub(crate) fn new_world(init: WorldInit) -> Self {
+        let members = (0..init.peers.len()).collect();
         Comm {
             id: WORLD_ID,
-            rank,
-            peers,
+            rank: init.rank,
+            members,
             core: Rc::new(RankCore {
-                mailbox: RefCell::new(mailbox),
+                mailbox: RefCell::new(init.mailbox),
+                peers: init.peers,
                 clock: Cell::new(0.0),
-                cost,
-                stats,
-                registry,
-                aborted,
+                cost: init.cost,
+                stats: init.stats,
+                registry: init.registry,
+                aborted: init.aborted,
+                eager_threshold: Cell::new(init.eager_threshold),
                 collective_depth: Cell::new(0),
             }),
             dups: Cell::new(0),
@@ -126,7 +149,7 @@ impl Comm {
 
     /// The number of ranks in the communicator.
     pub fn size(&self) -> usize {
-        self.peers.len()
+        self.members.len()
     }
 
     /// The communicator's id (0 for the world communicator).
@@ -142,6 +165,21 @@ impl Comm {
     /// The shared statistics counters.
     pub fn stats(&self) -> &Stats {
         &self.core.stats
+    }
+
+    /// The eager/queued protocol threshold in modeled wire bytes: sends
+    /// at or below it move inline through the lane ring, larger ones are
+    /// boxed. Like [`select_allreduce_algorithm`](Self::select_allreduce_algorithm),
+    /// this is a per-rank performance knob that never changes results —
+    /// only how packets travel.
+    pub fn eager_threshold(&self) -> usize {
+        self.core.eager_threshold.get()
+    }
+
+    /// Sets the eager/queued threshold for this rank (all communicators
+    /// of the rank share it; no effect on the legacy shared transport).
+    pub fn set_eager_threshold(&self, bytes: usize) {
+        self.core.eager_threshold.set(bytes);
     }
 
     // ------------------------------------------------------------------
@@ -197,10 +235,15 @@ impl Comm {
             bytes,
             payload: Box::new(value),
         };
-        // A full mailbox channel cannot happen (unbounded); a disconnect
-        // means the destination thread is gone, which the abort flag turns
-        // into a clean panic at the blocked receivers instead.
-        let _ = self.peers[dst].send(packet);
+        // Delivery cannot block (rings spill to an overflow queue, the
+        // shared channel is unbounded); a dead destination means that
+        // thread is gone, which the abort flag turns into a clean panic
+        // at the blocked receivers instead.
+        self.core.peers[self.members[dst]].send(
+            packet,
+            self.core.eager_threshold.get(),
+            &self.core.stats,
+        );
     }
 
     /// Sends `value` to `dst` with `tag`; wire size is `size_of::<T>()`.
@@ -259,7 +302,14 @@ impl Comm {
         self.core
             .mailbox
             .borrow_mut()
-            .recv_or_abort(self.id, src, tag, &self.core.aborted)
+            .recv_or_abort(
+                self.id,
+                src,
+                tag,
+                &self.members,
+                &self.core.aborted,
+                &self.core.stats,
+            )
             .unwrap_or_else(|err: ShutdownError| std::panic::panic_any(err))
     }
 
@@ -291,14 +341,14 @@ impl Comm {
             .iter()
             .position(|&(_, r)| r == self.rank)
             .expect("own rank missing from split group");
-        let peers = group
+        let members = group
             .iter()
-            .map(|&(_, r)| self.peers[r].clone())
+            .map(|&(_, r)| self.members[r])
             .collect();
         Comm {
             id: self.core.registry.id_for(self.id, color),
             rank: new_rank,
-            peers,
+            members,
             core: Rc::clone(&self.core),
             dups: Cell::new(0),
         }
@@ -316,7 +366,7 @@ impl Comm {
         Comm {
             id,
             rank: self.rank,
-            peers: self.peers.clone(),
+            members: self.members.clone(),
             core: Rc::clone(&self.core),
             dups: Cell::new(0),
         }

@@ -32,6 +32,14 @@ impl CostModel {
     /// A model loosely calibrated to the paper's testbed era (IBM P655,
     /// Federation-class interconnect): ~5 µs latency, ~1 GB/s bandwidth,
     /// ~1 ns per scalar operation.
+    ///
+    /// These constants model the *paper's network*, not this process:
+    /// they deliberately did not change when the in-process transport
+    /// moved from the shared mailbox to per-peer lanes (the real α of the
+    /// host transport dropped from ~2.1 µs to ~1.2 µs per ping-pong hop —
+    /// see `results/transport_microbench.txt` — but modeled figures must
+    /// stay comparable across recordings, and the virtual clock is
+    /// advanced by schedule shape alone, never by host wall time).
     pub const fn cluster_2006() -> Self {
         CostModel {
             alpha: 5.0e-6,

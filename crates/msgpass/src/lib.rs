@@ -35,9 +35,9 @@ mod message;
 pub mod runtime;
 pub mod stats;
 
-pub use comm::Comm;
+pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
 pub use cost::{AllreduceAlgorithm, CostModel};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
-pub use runtime::{RunOutcome, Runtime};
-pub use stats::{CallKind, Stats, StatsSnapshot};
+pub use runtime::{RunOutcome, Runtime, Transport};
+pub use stats::{CallKind, Stats, StatsSnapshot, TransportSnapshot};

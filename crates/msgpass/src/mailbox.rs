@@ -1,21 +1,59 @@
-//! Per-rank mailbox with MPI-style `(communicator, source, tag)` matching.
+//! Per-rank receive side with MPI-style `(communicator, source, tag)`
+//! matching, over one of two transports.
 //!
-//! Each rank owns one mailbox fed by a single MPSC channel. `recv` first
-//! scans messages that arrived earlier but did not match (the *pending*
-//! queue), then blocks on the channel, stashing non-matching arrivals.
-//! Within one `(comm, source, tag)` triple this preserves arrival order —
-//! MPI's non-overtaking guarantee.
+//! The default transport gives rank `r` **one SPSC lane per source rank**
+//! (`gv_executor::lane`): a matched receive from a known source — the
+//! collective fast path — polls exactly one lock-free ring and never
+//! touches any other rank's traffic. Arrivals that do not match the
+//! posted `(comm, tag)` are stashed *per lane, keyed by `(comm, tag)`*,
+//! so the slow path (`Source::Any`, tag mismatches) costs a hash lookup
+//! per candidate lane instead of a walk over everything pending. Within
+//! one `(comm, source, tag)` triple, ring order plus per-key FIFO stashes
+//! preserve arrival order — MPI's non-overtaking guarantee.
+//!
+//! The legacy transport (`Transport::SharedMailbox`) is the original
+//! single Mutex+Condvar MPSC channel per rank, kept selectable so the
+//! `transport_microbench` harness can measure the lanes against it; its
+//! pending queue is likewise indexed by `(comm, source, tag)` now.
 //!
 //! A receive that can never complete (peer threads exited, or the runtime
 //! raised the abort flag after a peer panicked) surfaces as a
 //! [`ShutdownError`] rather than a bare panic, so callers can attach
-//! context before unwinding.
+//! context before unwinding. A parked lane receive observes shutdown two
+//! ways: lane closure and runtime aborts explicitly unpark it, and the
+//! park itself always carries a timeout, so even a lost wakeup degrades
+//! to a 50 ms poll, never a hang.
 
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use gv_executor::channel::{Receiver, RecvTimeoutError, Sender};
+use gv_executor::lane::{lane, LaneDeposit, LaneReceiver, LaneSender, Parker};
 
-use crate::message::{Packet, Tag};
+use crate::message::{LaneMsg, Packet, Tag};
+use crate::stats::Stats;
+
+/// Ring slots per lane. Collective schedules keep at most a handful of
+/// messages in flight per peer pair, so a small ring suffices; bursts
+/// spill to the lane's overflow queue without blocking or loss. Kept
+/// modest because a `p`-rank runtime allocates `p²` lanes.
+const LANE_CAPACITY: usize = 32;
+
+/// Upper bound on one park. Shutdown normally interrupts a park
+/// explicitly (lane closure and runtime abort both unpark); the timeout
+/// is the backstop that turns any missed wakeup into a bounded re-poll.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Scheduler yields between spinning and parking. A yield hands the CPU
+/// to a runnable producer without the futex sleep/wake a park costs —
+/// on an oversubscribed host (ranks ≫ cores) the awaited producer is
+/// almost always runnable, so most waits resolve within a few yields
+/// and never park.
+const YIELD_LIMIT: u32 = 64;
 
 /// Source selector for a receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +67,8 @@ pub enum Source {
 /// Why a blocked receive was shut down instead of completing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShutdownKind {
-    /// The mailbox channel disconnected: every peer rank exited without
-    /// sending the awaited message.
+    /// The transport disconnected: every rank the receive could match
+    /// exited without sending the awaited message.
     Disconnected,
     /// A peer rank panicked and the runtime raised the abort flag; this
     /// rank unwinds instead of deadlocking on a message that will never
@@ -71,17 +109,232 @@ impl fmt::Display for ShutdownError {
 
 impl std::error::Error for ShutdownError {}
 
-pub(crate) struct Mailbox {
-    incoming: Receiver<Packet>,
-    pending: Vec<Packet>,
+/// The sending endpoint for one destination rank, matching the transport
+/// its mailbox was built with.
+pub(crate) enum PeerSender {
+    /// A dedicated source→destination lane (this rank is the source).
+    Lane(LaneSender<LaneMsg>),
+    /// A clone of the destination's shared MPSC channel sender.
+    Shared(Sender<Packet>),
 }
 
-impl Mailbox {
-    pub(crate) fn new(incoming: Receiver<Packet>) -> Self {
-        Mailbox {
-            incoming,
-            pending: Vec::new(),
+impl PeerSender {
+    /// Delivers `packet`, choosing the eager or queued protocol by the
+    /// packet's modeled wire size vs. `eager_threshold` (lane transport
+    /// only). Delivery to a dead receiver is silently dropped — the
+    /// runtime's abort machinery handles the peer's disappearance.
+    pub(crate) fn send(&self, packet: Packet, eager_threshold: usize, stats: &Stats) {
+        match self {
+            PeerSender::Lane(tx) => {
+                let deposit = if packet.bytes <= eager_threshold {
+                    stats.transport.record_eager_send();
+                    tx.send(LaneMsg::Eager(packet))
+                } else {
+                    stats.transport.record_queued_send();
+                    tx.send(LaneMsg::Queued(Box::new(packet)))
+                };
+                if let Ok(LaneDeposit::Overflow) = deposit {
+                    stats.transport.record_overflow_send();
+                }
+            }
+            PeerSender::Shared(tx) => {
+                let _ = tx.send(packet);
+            }
         }
+    }
+}
+
+/// A stashed mismatched arrival: per-key FIFO plus an arrival sequence
+/// number for `Source::Any`'s earliest-first pick.
+type StashQueue = VecDeque<(u64, Packet)>;
+
+/// One source rank's lane on the receive side.
+struct LaneState {
+    rx: LaneReceiver<LaneMsg>,
+    /// Mismatched arrivals from this source, keyed by `(comm, tag)` (the
+    /// source is the lane itself). FIFO per key preserves non-overtaking.
+    stash: HashMap<(u64, Tag), StashQueue>,
+    /// Total stashed packets across keys (cheap emptiness check).
+    stash_len: usize,
+    /// Arrival counter for this lane, stamped onto stashed packets.
+    next_seq: u64,
+}
+
+impl LaneState {
+    fn new(rx: LaneReceiver<LaneMsg>) -> Self {
+        LaneState {
+            rx,
+            stash: HashMap::new(),
+            stash_len: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn stash(&mut self, packet: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stash
+            .entry((packet.comm_id, packet.tag))
+            .or_default()
+            .push_back((seq, packet));
+        self.stash_len += 1;
+    }
+}
+
+/// Per-peer-lane receive side of one rank.
+pub(crate) struct LaneMailbox {
+    /// One lane per source, indexed by the source's **world** rank.
+    lanes: Vec<LaneState>,
+    /// Shared by all lanes feeding this rank; any producer wakes us.
+    parker: Arc<Parker>,
+    /// Bounded spin before parking (host-parallelism-aware).
+    spin_limit: u32,
+}
+
+impl LaneMailbox {
+    /// Takes the earliest stashed packet matching `(comm_id, tag)` among
+    /// the candidate lanes, if any.
+    fn take_stashed(&mut self, comm_id: u64, tag: Tag, lanes: &[usize]) -> Option<Packet> {
+        let key = (comm_id, tag);
+        let mut best: Option<(u64, usize)> = None;
+        for &w in lanes {
+            let lane = &self.lanes[w];
+            if lane.stash_len == 0 {
+                continue;
+            }
+            if let Some(&(seq, _)) = lane.stash.get(&key).and_then(|q| q.front()) {
+                if best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, w));
+                }
+            }
+        }
+        let (_, w) = best?;
+        let lane = &mut self.lanes[w];
+        let queue = lane.stash.get_mut(&key).expect("stash key vanished");
+        let (_, packet) = queue.pop_front().expect("stash queue empty");
+        if queue.is_empty() {
+            lane.stash.remove(&key);
+        }
+        lane.stash_len -= 1;
+        Some(packet)
+    }
+
+    /// Drains the candidate lanes' rings: returns the first match,
+    /// stashing everything else by its own `(comm, tag)` key.
+    fn drain(
+        &mut self,
+        comm_id: u64,
+        tag: Tag,
+        lanes: &[usize],
+        stats: &Stats,
+    ) -> Option<Packet> {
+        for &w in lanes {
+            let lane = &mut self.lanes[w];
+            while let Some(msg) = lane.rx.try_recv() {
+                let packet = msg.into_packet();
+                if packet.comm_id == comm_id && packet.tag == tag {
+                    stats.transport.record_ring_recv();
+                    return Some(packet);
+                }
+                lane.stash(packet);
+                stats.transport.record_restash();
+            }
+        }
+        None
+    }
+
+    fn recv_or_abort(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        lanes: &[usize],
+        aborted: &AtomicBool,
+        stats: &Stats,
+    ) -> Result<Packet, ShutdownError> {
+        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
+        if let Some(packet) = self.take_stashed(comm_id, tag, lanes) {
+            stats.transport.record_stash_recv();
+            return Ok(packet);
+        }
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        loop {
+            if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                return Ok(packet);
+            }
+            // Shutdown checks come only after a full drain: a message
+            // already delivered always beats a concurrent shutdown.
+            if aborted.load(Ordering::Relaxed) {
+                return Err(shutdown(ShutdownKind::Aborted));
+            }
+            if lanes.iter().all(|&w| self.lanes[w].rx.is_closed()) {
+                // `is_closed` was observed *after* the drain above, and a
+                // producer closes only after its final send, so one more
+                // drain sees anything that raced with the closure.
+                if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                    return Ok(packet);
+                }
+                let kind = if aborted.load(Ordering::Relaxed) {
+                    ShutdownKind::Aborted
+                } else {
+                    ShutdownKind::Disconnected
+                };
+                return Err(shutdown(kind));
+            }
+            if spins < self.spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if yields < YIELD_LIMIT {
+                yields += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            let ticket = self.parker.ticket();
+            if lanes.iter().any(|&w| self.lanes[w].rx.ready()) {
+                spins = 0;
+                yields = 0;
+                continue;
+            }
+            stats.transport.record_park();
+            self.parker.park_timeout(ticket, PARK_TIMEOUT);
+            spins = 0;
+            yields = 0;
+        }
+    }
+}
+
+/// The legacy transport: one MPSC Mutex+Condvar channel per rank, every
+/// peer holding a sender clone. Pending (mismatched) arrivals are indexed
+/// by the full `(comm, source, tag)` key, so even this path no longer
+/// re-walks a flat queue per receive.
+pub(crate) struct SharedMailbox {
+    incoming: Receiver<Packet>,
+    pending: HashMap<(u64, usize, Tag), StashQueue>,
+    pending_len: usize,
+    next_seq: u64,
+}
+
+impl SharedMailbox {
+    fn new(incoming: Receiver<Packet>) -> Self {
+        SharedMailbox {
+            incoming,
+            pending: HashMap::new(),
+            pending_len: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn stash(&mut self, packet: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending
+            .entry((packet.comm_id, packet.src, packet.tag))
+            .or_default()
+            .push_back((seq, packet));
+        self.pending_len += 1;
     }
 
     fn matches(packet: &Packet, comm_id: u64, src: Source, tag: Tag) -> bool {
@@ -94,99 +347,161 @@ impl Mailbox {
     }
 
     fn take_pending(&mut self, comm_id: u64, src: Source, tag: Tag) -> Option<Packet> {
-        self.pending
-            .iter()
-            .position(|p| Self::matches(p, comm_id, src, tag))
-            .map(|i| self.pending.remove(i))
-    }
-
-    /// Blocks until a packet matching `(comm_id, src, tag)` is available.
-    /// Fails with [`ShutdownKind::Disconnected`] if the channel closes
-    /// while waiting (peer ranks exited without sending — a
-    /// deadlock-turned-error).
-    #[cfg_attr(not(test), allow(dead_code))] // comm uses recv_or_abort
-    pub(crate) fn recv(
-        &mut self,
-        comm_id: u64,
-        src: Source,
-        tag: Tag,
-    ) -> Result<Packet, ShutdownError> {
-        if let Some(packet) = self.take_pending(comm_id, src, tag) {
-            return Ok(packet);
+        if self.pending_len == 0 {
+            return None;
         }
-        loop {
-            let packet = self.incoming.recv().map_err(|_| ShutdownError {
-                comm: comm_id,
-                src,
-                tag,
-                kind: ShutdownKind::Disconnected,
-            })?;
-            if Self::matches(&packet, comm_id, src, tag) {
-                return Ok(packet);
+        let key = match src {
+            Source::Rank(r) => (comm_id, r, tag),
+            Source::Any => {
+                // Earliest arrival across sources: scan the (comm, tag)
+                // keys — O(distinct keys), not O(pending packets).
+                let best = self
+                    .pending
+                    .iter()
+                    .filter(|((c, _, t), _)| *c == comm_id && *t == tag)
+                    .filter_map(|(key, q)| q.front().map(|&(seq, _)| (seq, *key)))
+                    .min_by_key(|&(seq, _)| seq);
+                best?.1
             }
-            self.pending.push(packet);
+        };
+        let queue = self.pending.get_mut(&key)?;
+        let (_, packet) = queue.pop_front()?;
+        if queue.is_empty() {
+            self.pending.remove(&key);
         }
+        self.pending_len -= 1;
+        Some(packet)
     }
 
-    /// Like [`recv`](Self::recv) but periodically checks `aborted`; if a
-    /// peer rank has panicked, this turns the would-be deadlock into a
-    /// clean [`ShutdownKind::Aborted`] error that lets the runtime unwind
-    /// every rank.
-    pub(crate) fn recv_or_abort(
+    fn recv_or_abort(
         &mut self,
         comm_id: u64,
         src: Source,
         tag: Tag,
-        aborted: &std::sync::atomic::AtomicBool,
+        aborted: &AtomicBool,
+        stats: &Stats,
     ) -> Result<Packet, ShutdownError> {
-        use std::sync::atomic::Ordering;
+        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
         if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            stats.transport.record_stash_recv();
             return Ok(packet);
         }
         loop {
-            match self
-                .incoming
-                .recv_timeout(std::time::Duration::from_millis(50))
-            {
+            match self.incoming.recv_timeout(PARK_TIMEOUT) {
                 Ok(packet) => {
                     if Self::matches(&packet, comm_id, src, tag) {
+                        stats.transport.record_ring_recv();
                         return Ok(packet);
                     }
-                    self.pending.push(packet);
+                    self.stash(packet);
+                    stats.transport.record_restash();
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    stats.transport.record_park();
                     if aborted.load(Ordering::Relaxed) {
-                        return Err(ShutdownError {
-                            comm: comm_id,
-                            src,
-                            tag,
-                            kind: ShutdownKind::Aborted,
-                        });
+                        return Err(shutdown(ShutdownKind::Aborted));
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(ShutdownError {
-                        comm: comm_id,
-                        src,
-                        tag,
-                        kind: ShutdownKind::Disconnected,
-                    });
+                    let kind = if aborted.load(Ordering::Relaxed) {
+                        ShutdownKind::Aborted
+                    } else {
+                        ShutdownKind::Disconnected
+                    };
+                    return Err(shutdown(kind));
                 }
             }
         }
     }
 }
 
-/// Builds `p` connected mailboxes and the sender handles addressing them.
-pub(crate) fn build_mailboxes(p: usize) -> (Vec<Mailbox>, Vec<Sender<Packet>>) {
-    let mut boxes = Vec::with_capacity(p);
-    let mut senders = Vec::with_capacity(p);
+/// A rank's receive side, whichever transport the runtime selected.
+pub(crate) enum Mailbox {
+    Lanes(LaneMailbox),
+    Shared(SharedMailbox),
+}
+
+impl Mailbox {
+    /// Blocks until a packet matching `(comm_id, src, tag)` is available,
+    /// periodically checking `aborted`.
+    ///
+    /// `members` maps the posting communicator's ranks to **world** ranks
+    /// (`members[q]` = world rank of comm rank `q`); the lane transport
+    /// uses it to watch exactly the right lanes. Fails with
+    /// [`ShutdownKind::Disconnected`] when every matchable peer is gone,
+    /// or [`ShutdownKind::Aborted`] when the runtime abort flag is up.
+    pub(crate) fn recv_or_abort(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        members: &[usize],
+        aborted: &AtomicBool,
+        stats: &Stats,
+    ) -> Result<Packet, ShutdownError> {
+        match self {
+            Mailbox::Lanes(lanes) => match src {
+                Source::Rank(q) => {
+                    let lane = [members[q]];
+                    lanes.recv_or_abort(comm_id, src, tag, &lane, aborted, stats)
+                }
+                Source::Any => lanes.recv_or_abort(comm_id, src, tag, members, aborted, stats),
+            },
+            Mailbox::Shared(shared) => shared.recv_or_abort(comm_id, src, tag, aborted, stats),
+        }
+    }
+}
+
+/// Builds the per-peer-lane transport for `p` ranks: `p` mailboxes of
+/// `p` lanes each, the sender matrix grouped by **source** rank
+/// (`senders[s][d]` sends s→d), and each rank's parker (the runtime
+/// unparks them all when raising the abort flag).
+pub(crate) fn build_lane_transport(
+    p: usize,
+) -> (Vec<Mailbox>, Vec<Vec<PeerSender>>, Vec<Arc<Parker>>) {
+    let spin_limit = gv_executor::lane::suggested_spin_limit();
+    let mut tx_rows: Vec<Vec<PeerSender>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut mailboxes = Vec::with_capacity(p);
+    let mut parkers = Vec::with_capacity(p);
+    for _d in 0..p {
+        let parker = Arc::new(Parker::new());
+        let mut lanes = Vec::with_capacity(p);
+        for row in tx_rows.iter_mut() {
+            let (tx, rx) = lane::<LaneMsg>(LANE_CAPACITY, Arc::clone(&parker));
+            lanes.push(LaneState::new(rx));
+            row.push(PeerSender::Lane(tx));
+        }
+        mailboxes.push(Mailbox::Lanes(LaneMailbox {
+            lanes,
+            parker: Arc::clone(&parker),
+            spin_limit,
+        }));
+        parkers.push(parker);
+    }
+    (mailboxes, tx_rows, parkers)
+}
+
+/// Builds the legacy shared-channel transport: one MPSC channel per rank,
+/// each source rank holding a sender clone per destination.
+pub(crate) fn build_shared_transport(p: usize) -> (Vec<Mailbox>, Vec<Vec<PeerSender>>) {
+    let mut mailboxes = Vec::with_capacity(p);
+    let mut dest_senders = Vec::with_capacity(p);
     for _ in 0..p {
         let (tx, rx) = gv_executor::channel::unbounded();
-        boxes.push(Mailbox::new(rx));
-        senders.push(tx);
+        mailboxes.push(Mailbox::Shared(SharedMailbox::new(rx)));
+        dest_senders.push(tx);
     }
-    (boxes, senders)
+    let senders = (0..p)
+        .map(|_s| {
+            dest_senders
+                .iter()
+                .map(|tx| PeerSender::Shared(tx.clone()))
+                .collect()
+        })
+        .collect();
+    // `dest_senders` (the originals) drop here, so disconnection tracks
+    // exactly the p per-rank clones.
+    (mailboxes, senders)
 }
 
 #[cfg(test)]
@@ -204,77 +519,244 @@ mod tests {
         }
     }
 
-    #[test]
-    fn matching_by_source_and_tag() {
-        let (mut boxes, senders) = build_mailboxes(1);
-        senders[0].send(packet(0, 1, 7, 10)).unwrap();
-        senders[0].send(packet(0, 2, 7, 20)).unwrap();
-        senders[0].send(packet(0, 1, 9, 30)).unwrap();
-        let m = boxes[0].recv(0, Source::Rank(2), 7).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 20);
-        let m = boxes[0].recv(0, Source::Rank(1), 9).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 30);
-        let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 10);
+    fn value_of(p: Packet) -> i32 {
+        *p.payload.downcast::<i32>().unwrap()
+    }
+
+    struct Harness {
+        mailboxes: Vec<Mailbox>,
+        senders: Vec<Vec<PeerSender>>,
+        stats: Stats,
+        aborted: AtomicBool,
+        members: Vec<usize>,
+    }
+
+    impl Harness {
+        fn lanes(p: usize) -> Self {
+            let (mailboxes, senders, _parkers) = build_lane_transport(p);
+            Harness {
+                mailboxes,
+                senders,
+                stats: Stats::new(),
+                aborted: AtomicBool::new(false),
+                members: (0..p).collect(),
+            }
+        }
+
+        fn shared(p: usize) -> Self {
+            let (mailboxes, senders) = build_shared_transport(p);
+            Harness {
+                mailboxes,
+                senders,
+                stats: Stats::new(),
+                aborted: AtomicBool::new(false),
+                members: (0..p).collect(),
+            }
+        }
+
+        fn send(&self, s: usize, d: usize, comm: u64, tag: Tag, value: i32) {
+            self.senders[s][d].send(packet(comm, s, tag, value), usize::MAX, &self.stats);
+        }
+
+        fn recv(&mut self, d: usize, comm: u64, src: Source, tag: Tag) -> Result<i32, ShutdownError> {
+            let members = self.members.clone();
+            self.mailboxes[d]
+                .recv_or_abort(comm, src, tag, &members, &self.aborted, &self.stats)
+                .map(value_of)
+        }
+    }
+
+    fn both_transports(p: usize) -> [Harness; 2] {
+        [Harness::lanes(p), Harness::shared(p)]
     }
 
     #[test]
-    fn any_source_takes_earliest_pending() {
-        let (mut boxes, senders) = build_mailboxes(1);
-        senders[0].send(packet(0, 3, 1, 1)).unwrap();
-        senders[0].send(packet(0, 4, 1, 2)).unwrap();
-        let m = boxes[0].recv(0, Source::Any, 1).unwrap();
-        assert_eq!(m.src, 3);
+    fn matching_by_source_and_tag() {
+        for mut h in both_transports(3) {
+            h.send(1, 0, 0, 7, 10);
+            h.send(2, 0, 0, 7, 20);
+            h.send(1, 0, 0, 9, 30);
+            assert_eq!(h.recv(0, 0, Source::Rank(2), 7), Ok(20));
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 9), Ok(30));
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(10));
+        }
+    }
+
+    #[test]
+    fn any_source_takes_earliest_pending_per_transport() {
+        // Shared transport: a strict arrival order exists; earliest wins.
+        let mut h = Harness::shared(5);
+        h.send(3, 0, 0, 1, 33);
+        h.send(4, 0, 0, 1, 44);
+        // Force both into the pending stash by first receiving on another
+        // tag (mismatch → stash), then matching via Any.
+        h.send(2, 0, 0, 9, 99);
+        assert_eq!(h.recv(0, 0, Source::Rank(2), 9), Ok(99));
+        assert_eq!(h.recv(0, 0, Source::Any, 1), Ok(33));
+        assert_eq!(h.recv(0, 0, Source::Any, 1), Ok(44));
+
+        // Lane transport: both arrivals are delivered, each lane in order
+        // (cross-source order is unordered by design).
+        let mut h = Harness::lanes(5);
+        h.send(3, 0, 0, 1, 33);
+        h.send(4, 0, 0, 1, 44);
+        let a = h.recv(0, 0, Source::Any, 1).unwrap();
+        let b = h.recv(0, 0, Source::Any, 1).unwrap();
+        let mut got = [a, b];
+        got.sort_unstable();
+        assert_eq!(got, [33, 44]);
     }
 
     #[test]
     fn non_overtaking_within_same_triple() {
-        let (mut boxes, senders) = build_mailboxes(1);
-        for v in 0..5 {
-            senders[0].send(packet(0, 1, 7, v)).unwrap();
+        for mut h in both_transports(2) {
+            for v in 0..5 {
+                h.send(1, 0, 0, 7, v);
+            }
+            for v in 0..5 {
+                assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+            }
         }
-        for v in 0..5 {
-            let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
-            assert_eq!(*m.payload.downcast::<i32>().unwrap(), v);
+    }
+
+    #[test]
+    fn non_overtaking_survives_stashing() {
+        for mut h in both_transports(2) {
+            // Interleave two tags from one source; receive tag 8 first so
+            // every tag-7 message goes through the stash, then check the
+            // tag-7 order survived.
+            for v in 0..4 {
+                h.send(1, 0, 0, 7, v);
+                h.send(1, 0, 0, 8, 100 + v);
+            }
+            for v in 0..4 {
+                assert_eq!(h.recv(0, 0, Source::Rank(1), 8), Ok(100 + v));
+            }
+            for v in 0..4 {
+                assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+            }
         }
     }
 
     #[test]
     fn communicator_ids_do_not_cross_talk() {
-        let (mut boxes, senders) = build_mailboxes(1);
-        senders[0].send(packet(5, 1, 7, 50)).unwrap();
-        senders[0].send(packet(6, 1, 7, 60)).unwrap();
-        let m = boxes[0].recv(6, Source::Rank(1), 7).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 60);
-        let m = boxes[0].recv(5, Source::Rank(1), 7).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 50);
+        for mut h in both_transports(2) {
+            h.send(1, 0, 5, 7, 50);
+            h.send(1, 0, 6, 7, 60);
+            assert_eq!(h.recv(0, 6, Source::Rank(1), 7), Ok(60));
+            assert_eq!(h.recv(0, 5, Source::Rank(1), 7), Ok(50));
+        }
     }
 
     #[test]
     fn disconnect_surfaces_as_shutdown_error_not_a_lost_message() {
-        let (mut boxes, senders) = build_mailboxes(1);
-        senders[0].send(packet(0, 1, 7, 10)).unwrap();
-        drop(senders);
-        // The queued message is still delivered…
-        let m = boxes[0].recv(0, Source::Rank(1), 7).unwrap();
-        assert_eq!(*m.payload.downcast::<i32>().unwrap(), 10);
-        // …then the dead channel reports a typed shutdown.
-        let err = boxes[0].recv(0, Source::Rank(1), 7).unwrap_err();
-        assert_eq!(err.kind, ShutdownKind::Disconnected);
-        assert_eq!(err.comm, 0);
-        assert_eq!(err.tag, 7);
-        assert!(err.to_string().contains("shut down"), "{err}");
+        for mut h in both_transports(2) {
+            h.send(1, 0, 0, 7, 10);
+            h.senders.clear(); // every sending endpoint drops
+            // The queued message is still delivered…
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(10));
+            // …then the dead transport reports a typed shutdown.
+            let err = h.recv(0, 0, Source::Rank(1), 7).unwrap_err();
+            assert_eq!(err.kind, ShutdownKind::Disconnected);
+            assert_eq!(err.comm, 0);
+            assert_eq!(err.tag, 7);
+            assert!(err.to_string().contains("shut down"), "{err}");
+        }
     }
 
     #[test]
     fn abort_flag_surfaces_as_shutdown_error() {
-        use std::sync::atomic::AtomicBool;
-        let (mut boxes, senders) = build_mailboxes(1);
-        let aborted = AtomicBool::new(true);
-        let err = boxes[0]
-            .recv_or_abort(0, Source::Any, 3, &aborted)
+        for mut h in both_transports(2) {
+            h.aborted.store(true, Ordering::Relaxed);
+            let err = h.recv(0, 0, Source::Any, 3).unwrap_err();
+            assert_eq!(err.kind, ShutdownKind::Aborted);
+        }
+    }
+
+    #[test]
+    fn lane_disconnect_is_per_source() {
+        // Only the awaited source's exit matters on the lane transport:
+        // rank 2 stays alive, rank 1 exits → recv(1) disconnects.
+        let mut h = Harness::lanes(3);
+        let rank1_endpoints = h.senders.remove(1);
+        drop(rank1_endpoints);
+        let err = h.recv(0, 0, Source::Rank(1), 7).unwrap_err();
+        assert_eq!(err.kind, ShutdownKind::Disconnected);
+        // A receive from the still-alive rank 2 completes (after the
+        // remove(1) above, index 1 holds old rank 2's endpoints).
+        h.senders[1][0].send(packet(0, 2, 7, 5), usize::MAX, &h.stats);
+        assert_eq!(h.recv(0, 0, Source::Rank(2), 7), Ok(5));
+    }
+
+    #[test]
+    fn parked_receiver_sees_peer_exit_as_disconnect() {
+        // Satellite: peer exit while the receiver is parked in the
+        // spin-then-park slow path.
+        let (mut mailboxes, mut senders, _parkers) = build_lane_transport(2);
+        let stats = Stats::new();
+        let aborted = AtomicBool::new(false);
+        let peer = senders.remove(1); // rank 1's endpoints
+        let holder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            drop(peer); // rank 1 exits without sending
+        });
+        let err = mailboxes[0]
+            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &aborted, &stats)
+            .unwrap_err();
+        assert_eq!(err.kind, ShutdownKind::Disconnected);
+        assert!(stats.snapshot().transport.parks > 0, "receiver never parked");
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn parked_receiver_sees_abort_flag() {
+        // Satellite: peer panic → abort flag raised while the receiver is
+        // parked; the runtime also unparks, here simulated explicitly.
+        let (mut mailboxes, senders, parkers) = build_lane_transport(2);
+        let stats = Stats::new();
+        let aborted = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&aborted);
+        let parker = Arc::clone(&parkers[0]);
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+            parker.unpark();
+        });
+        let started = std::time::Instant::now();
+        let err = mailboxes[0]
+            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &aborted, &stats)
             .unwrap_err();
         assert_eq!(err.kind, ShutdownKind::Aborted);
+        // The explicit unpark makes this prompt (well under the 50 ms
+        // park timeout backstop plus scheduling slack).
+        assert!(started.elapsed() < Duration::from_millis(500));
+        raiser.join().unwrap();
         drop(senders);
+    }
+
+    #[test]
+    fn overflow_burst_preserves_order_end_to_end() {
+        // More messages than LANE_CAPACITY: the tail goes through the
+        // overflow queue; order must hold across the boundary.
+        let mut h = Harness::lanes(2);
+        let n = (LANE_CAPACITY * 3) as i32;
+        for v in 0..n {
+            h.send(1, 0, 0, 7, v);
+        }
+        assert!(h.stats.snapshot().transport.overflow_sends > 0);
+        for v in 0..n {
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+        }
+    }
+
+    #[test]
+    fn eager_queued_split_follows_threshold() {
+        let h = Harness::lanes(2);
+        // bytes=4 packets: threshold 8 → eager; threshold 2 → queued.
+        h.senders[1][0].send(packet(0, 1, 7, 1), 8, &h.stats);
+        h.senders[1][0].send(packet(0, 1, 7, 2), 2, &h.stats);
+        let snap = h.stats.snapshot().transport;
+        assert_eq!(snap.eager_sends, 1);
+        assert_eq!(snap.queued_sends, 1);
     }
 }

@@ -40,3 +40,30 @@ impl std::fmt::Debug for Packet {
             .finish_non_exhaustive()
     }
 }
+
+/// What moves through a per-peer lane: the eager/queued protocol split.
+///
+/// *Eager* messages (modeled wire size ≤ the communicator's eager
+/// threshold) move the whole [`Packet`] envelope inline through the ring
+/// slot — no allocation beyond the payload box the envelope already
+/// carries. *Queued* messages box the envelope so the ring slot only
+/// carries a thin pointer; large transfers then cost one pointer move in
+/// the ring regardless of envelope traffic, mirroring MPI's eager vs
+/// rendezvous split (here both complete immediately — the split is about
+/// what the ring has to copy, not about handshaking).
+pub(crate) enum LaneMsg {
+    /// Envelope stored inline in the ring slot.
+    Eager(Packet),
+    /// Envelope boxed; the ring carries the pointer.
+    Queued(Box<Packet>),
+}
+
+impl LaneMsg {
+    /// Unwraps to the envelope, whichever protocol carried it.
+    pub(crate) fn into_packet(self) -> Packet {
+        match self {
+            LaneMsg::Eager(p) => p,
+            LaneMsg::Queued(p) => *p,
+        }
+    }
+}

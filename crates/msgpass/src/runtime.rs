@@ -4,10 +4,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::comm::{Comm, SplitRegistry};
+use crate::comm::{Comm, SplitRegistry, DEFAULT_EAGER_THRESHOLD};
 use crate::cost::CostModel;
-use crate::mailbox::build_mailboxes;
+use crate::mailbox::{build_lane_transport, build_shared_transport};
 use crate::stats::{Stats, StatsSnapshot};
+
+/// Which rank-to-rank transport a runtime wires up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Per-peer SPSC lanes with spin-then-park wakeup (the default): a
+    /// matched receive from a known source polls one lock-free ring and
+    /// never takes a lock.
+    #[default]
+    PerPeerLanes,
+    /// The original single Mutex+Condvar MPSC channel per rank. Kept
+    /// selectable so `transport_microbench` can measure the lanes
+    /// against it; semantics are identical.
+    SharedMailbox,
+}
 
 /// Configures and launches an SPMD run.
 ///
@@ -23,6 +37,8 @@ use crate::stats::{Stats, StatsSnapshot};
 pub struct Runtime {
     ranks: usize,
     cost: CostModel,
+    transport: Transport,
+    eager_threshold: usize,
 }
 
 /// Everything a finished run reports.
@@ -54,12 +70,28 @@ impl Runtime {
         Runtime {
             ranks,
             cost: CostModel::default(),
+            transport: Transport::default(),
+            eager_threshold: DEFAULT_EAGER_THRESHOLD,
         }
     }
 
     /// Replaces the cost model.
     pub fn cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects the rank-to-rank transport (default:
+    /// [`Transport::PerPeerLanes`]).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the initial eager/queued protocol threshold in modeled wire
+    /// bytes (see [`Comm::set_eager_threshold`]).
+    pub fn eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = bytes;
         self
     }
 
@@ -79,7 +111,16 @@ impl Runtime {
         F: Fn(&Comm) -> R + Sync,
     {
         let p = self.ranks;
-        let (mailboxes, senders) = build_mailboxes(p);
+        let (mailboxes, senders, parkers) = match self.transport {
+            Transport::PerPeerLanes => build_lane_transport(p),
+            Transport::SharedMailbox => {
+                let (mailboxes, senders) = build_shared_transport(p);
+                (mailboxes, senders, Vec::new())
+            }
+        };
+        // Parked lane receivers are woken explicitly on abort (the 50 ms
+        // park timeout remains as a backstop, not the mechanism).
+        let parkers = Arc::new(parkers);
         let stats = Arc::new(Stats::new());
         let registry = Arc::new(SplitRegistry::new());
         let aborted = Arc::new(AtomicBool::new(false));
@@ -90,25 +131,30 @@ impl Runtime {
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (mailbox, slot)) in mailboxes.into_iter().zip(slots.iter_mut()).enumerate()
+            for (rank, ((mailbox, senders), slot)) in mailboxes
+                .into_iter()
+                .zip(senders)
+                .zip(slots.iter_mut())
+                .enumerate()
             {
-                let senders = senders.clone();
                 let stats = Arc::clone(&stats);
                 let registry = Arc::clone(&registry);
                 let aborted = Arc::clone(&aborted);
+                let parkers = Arc::clone(&parkers);
                 let f = &f;
                 let handle = std::thread::Builder::new()
                     .name(format!("gv-rank-{rank}"))
                     .spawn_scoped(scope, move || {
-                        let comm = Comm::new_world(
+                        let comm = Comm::new_world(crate::comm::WorldInit {
                             rank,
-                            senders,
+                            peers: senders,
                             mailbox,
-                            self.cost,
+                            cost: self.cost,
                             stats,
                             registry,
-                            Arc::clone(&aborted),
-                        );
+                            aborted: Arc::clone(&aborted),
+                            eager_threshold: self.eager_threshold,
+                        });
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || f(&comm),
                         ));
@@ -119,8 +165,13 @@ impl Runtime {
                             }
                             Err(payload) => {
                                 // Wake peers blocked on us so the whole run
-                                // unwinds instead of deadlocking.
+                                // unwinds instead of deadlocking: raise the
+                                // flag first, then unpark everyone so a
+                                // parked receiver re-checks it immediately.
                                 aborted.store(true, Ordering::Relaxed);
+                                for parker in parkers.iter() {
+                                    parker.unpark();
+                                }
                                 Err(payload)
                             }
                         }
@@ -183,13 +234,51 @@ mod tests {
 
     #[test]
     fn point_to_point_ring() {
-        let outcome = Runtime::new(4).run(|comm| {
-            let next = (comm.rank() + 1) % comm.size();
-            let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(next, 1, comm.rank() as u32);
-            comm.recv::<u32>(prev, 1)
+        for transport in [Transport::PerPeerLanes, Transport::SharedMailbox] {
+            let outcome = Runtime::new(4).transport(transport).run(|comm| {
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, 1, comm.rank() as u32);
+                comm.recv::<u32>(prev, 1)
+            });
+            assert_eq!(outcome.results, vec![3, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn both_transports_agree_on_collectives() {
+        let run = |transport| {
+            Runtime::new(5)
+                .transport(transport)
+                .run(|comm| {
+                    let sum = comm.allreduce(comm.rank() as u64 + 1, true, |_| 8, |a, b| a + b);
+                    let prefix =
+                        comm.scan_inclusive(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                    (sum, prefix)
+                })
+        };
+        let lanes = run(Transport::PerPeerLanes);
+        let shared = run(Transport::SharedMailbox);
+        assert_eq!(lanes.results, shared.results);
+        // Transport choice must not change schedule-level accounting.
+        assert_eq!(lanes.stats.messages, shared.stats.messages);
+        assert_eq!(lanes.stats.bytes, shared.stats.bytes);
+    }
+
+    #[test]
+    fn eager_threshold_splits_protocols() {
+        let outcome = Runtime::new(2).eager_threshold(16).run(|comm| {
+            assert_eq!(comm.eager_threshold(), 16);
+            if comm.rank() == 0 {
+                comm.send(1, 1, [0u8; 8]); // 8 bytes → eager
+                comm.send(1, 2, [0u8; 64]); // 64 bytes → queued
+            } else {
+                let _: [u8; 8] = comm.recv(0, 1);
+                let _: [u8; 64] = comm.recv(0, 2);
+            }
         });
-        assert_eq!(outcome.results, vec![3, 0, 1, 2]);
+        assert!(outcome.stats.transport.eager_sends >= 1);
+        assert!(outcome.stats.transport.queued_sends >= 1);
     }
 
     #[test]
@@ -210,16 +299,18 @@ mod tests {
 
     #[test]
     fn rank_panic_propagates_without_deadlock() {
-        let result = std::panic::catch_unwind(|| {
-            Runtime::new(3).run(|comm| {
-                if comm.rank() == 1 {
-                    panic!("rank 1 exploded");
-                }
-                // Other ranks block on a message that will never come.
-                let _: u8 = comm.recv(1, 5);
-            })
-        });
-        assert!(result.is_err());
+        for transport in [Transport::PerPeerLanes, Transport::SharedMailbox] {
+            let result = std::panic::catch_unwind(|| {
+                Runtime::new(3).transport(transport).run(|comm| {
+                    if comm.rank() == 1 {
+                        panic!("rank 1 exploded");
+                    }
+                    // Other ranks block on a message that will never come.
+                    let _: u8 = comm.recv(1, 5);
+                })
+            });
+            assert!(result.is_err());
+        }
     }
 
     #[test]
@@ -235,6 +326,22 @@ mod tests {
         assert_eq!(outcome.results[1], (0, 3, 9));
         assert_eq!(outcome.results[4], (2, 3, 6));
         assert_eq!(outcome.results[5], (2, 3, 9));
+    }
+
+    #[test]
+    fn split_routes_through_world_lanes() {
+        // After a split, comm-relative ranks differ from world ranks; the
+        // member map must still route sends to the right lanes.
+        let outcome = Runtime::new(4).run(|comm| {
+            let color = (comm.rank() / 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64);
+            let peer = 1 - sub.rank();
+            sub.send(peer, 3, comm.rank() as u32);
+            let got: u32 = sub.recv(peer, 3);
+            got as usize
+        });
+        // World pairs (0,1) and (2,3) swap their world ranks.
+        assert_eq!(outcome.results, vec![1, 0, 3, 2]);
     }
 
     #[test]

@@ -100,6 +100,103 @@ pub struct Stats {
     allreduce_algorithms: [AtomicU64; ALGOS],
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Transport-path counters (eager/queued, ring/stash, parks). These
+    /// observe *how* packets moved, never *how many* — `messages`/`bytes`
+    /// stay the schedule-level ground truth the figures are checked
+    /// against.
+    pub(crate) transport: TransportStats,
+}
+
+/// Per-path transport counters. Separated from the schedule-level
+/// counters so the microbench can prove the lane rework changed delivery
+/// mechanics without touching message/byte accounting.
+#[derive(Debug, Default)]
+pub(crate) struct TransportStats {
+    eager_sends: AtomicU64,
+    queued_sends: AtomicU64,
+    overflow_sends: AtomicU64,
+    ring_recvs: AtomicU64,
+    stash_recvs: AtomicU64,
+    restashes: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl TransportStats {
+    pub(crate) fn record_eager_send(&self) {
+        self.eager_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queued_send(&self) {
+        self.queued_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_overflow_send(&self) {
+        self.overflow_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_ring_recv(&self) {
+        self.ring_recvs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stash_recv(&self) {
+        self.stash_recvs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_restash(&self) {
+        self.restashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            eager_sends: self.eager_sends.load(Ordering::Relaxed),
+            queued_sends: self.queued_sends.load(Ordering::Relaxed),
+            overflow_sends: self.overflow_sends.load(Ordering::Relaxed),
+            ring_recvs: self.ring_recvs.load(Ordering::Relaxed),
+            stash_recvs: self.stash_recvs.load(Ordering::Relaxed),
+            restashes: self.restashes.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the transport-path counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportSnapshot {
+    /// Sends whose envelope moved inline through a ring slot.
+    pub eager_sends: u64,
+    /// Sends whose envelope was boxed (ring carried a pointer).
+    pub queued_sends: u64,
+    /// Sends that found their ring full and spilled to the lane's
+    /// overflow queue (subset of eager + queued).
+    pub overflow_sends: u64,
+    /// Receives satisfied straight off a ring/channel (fast path).
+    pub ring_recvs: u64,
+    /// Receives satisfied from a pending stash (slow path).
+    pub stash_recvs: u64,
+    /// Arrivals that mismatched the posted receive and were stashed.
+    pub restashes: u64,
+    /// Times a receiver gave up spinning and parked (or, on the shared
+    /// transport, hit its blocking-wait timeout).
+    pub parks: u64,
+}
+
+impl TransportSnapshot {
+    /// Difference against an earlier snapshot, saturating at zero.
+    pub fn since(&self, earlier: &TransportSnapshot) -> TransportSnapshot {
+        TransportSnapshot {
+            eager_sends: self.eager_sends.saturating_sub(earlier.eager_sends),
+            queued_sends: self.queued_sends.saturating_sub(earlier.queued_sends),
+            overflow_sends: self.overflow_sends.saturating_sub(earlier.overflow_sends),
+            ring_recvs: self.ring_recvs.saturating_sub(earlier.ring_recvs),
+            stash_recvs: self.stash_recvs.saturating_sub(earlier.stash_recvs),
+            restashes: self.restashes.saturating_sub(earlier.restashes),
+            parks: self.parks.saturating_sub(earlier.parks),
+        }
+    }
 }
 
 impl Stats {
@@ -141,6 +238,7 @@ impl Stats {
             allreduce_algorithms,
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            transport: self.transport.snapshot(),
         }
     }
 }
@@ -154,6 +252,8 @@ pub struct StatsSnapshot {
     pub messages: u64,
     /// Total wire bytes.
     pub bytes: u64,
+    /// Transport-path counters at the same instant.
+    pub transport: TransportSnapshot,
 }
 
 impl StatsSnapshot {
@@ -207,6 +307,7 @@ impl StatsSnapshot {
             allreduce_algorithms,
             messages: self.messages.saturating_sub(earlier.messages),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            transport: self.transport.since(&earlier.transport),
         }
     }
 }
@@ -280,6 +381,31 @@ mod tests {
         );
         assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::ReduceBroadcast), 1);
         assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling), 0);
+    }
+
+    #[test]
+    fn transport_counters_snapshot_and_subtract() {
+        let stats = Stats::new();
+        stats.transport.record_eager_send();
+        stats.transport.record_eager_send();
+        stats.transport.record_queued_send();
+        stats.transport.record_ring_recv();
+        let before = stats.snapshot();
+        stats.transport.record_eager_send();
+        stats.transport.record_stash_recv();
+        stats.transport.record_restash();
+        stats.transport.record_park();
+        stats.transport.record_overflow_send();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.transport.eager_sends, 1);
+        assert_eq!(delta.transport.queued_sends, 0);
+        assert_eq!(delta.transport.stash_recvs, 1);
+        assert_eq!(delta.transport.restashes, 1);
+        assert_eq!(delta.transport.parks, 1);
+        assert_eq!(delta.transport.overflow_sends, 1);
+        let full = stats.snapshot().transport;
+        assert_eq!(full.eager_sends, 3);
+        assert_eq!(full.ring_recvs, 1);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Shutdown-path tests at the runtime level: a receive that can never
+//! complete must surface as a typed [`ShutdownError`] — `Disconnected`
+//! when the awaited peers exited cleanly, `Aborted` when a peer panicked
+//! — including while the receiver is parked in the transport's
+//! spin-then-park slow path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gv_msgpass::{Runtime, ShutdownError, ShutdownKind, Source, Transport};
+
+const TRANSPORTS: [Transport; 2] = [Transport::PerPeerLanes, Transport::SharedMailbox];
+
+/// Runs `recv` on rank 1 and returns the ShutdownError it unwound with.
+fn observe_shutdown(
+    transport: Transport,
+    peer: impl Fn() + Sync,
+) -> (ShutdownError, Duration, u64) {
+    let observed: Mutex<Option<(ShutdownError, Duration)>> = Mutex::new(None);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Runtime::new(2).transport(transport).run(|comm| {
+            if comm.rank() == 0 {
+                // Give rank 1 time to pass its spin budget and park
+                // before the shutdown condition appears.
+                std::thread::sleep(Duration::from_millis(30));
+                peer();
+            } else {
+                let started = Instant::now();
+                let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    comm.recv::<u8>(0, 9)
+                }));
+                let payload = blocked.expect_err("recv should have unwound");
+                let err = payload
+                    .downcast::<ShutdownError>()
+                    .expect("payload should be a ShutdownError");
+                *observed.lock().unwrap() = Some((*err, started.elapsed()));
+            }
+        })
+    }));
+    let parks = match &run {
+        Ok(outcome) => outcome.stats.transport.parks,
+        // The peer's own panic propagates out of `run`; the stats are
+        // unreachable then, which the parked assertions tolerate.
+        Err(_) => u64::MAX,
+    };
+    let (err, waited) = observed
+        .into_inner()
+        .unwrap()
+        .expect("rank 1 never observed a shutdown");
+    (err, waited, parks)
+}
+
+#[test]
+fn peer_exit_while_parked_is_disconnected() {
+    // Lane transport only: each lane closes when its *single* producer
+    // exits, so a receiver learns its awaited peer is gone. The shared
+    // transport cannot detect this — every rank holds a sender clone to
+    // its own channel, so the channel never disconnects while its owner
+    // is still blocked on it (a pre-existing limitation the lanes fix).
+    let (err, waited, parks) = observe_shutdown(Transport::PerPeerLanes, || {});
+    assert_eq!(err.kind, ShutdownKind::Disconnected);
+    assert_eq!(err.comm, 0);
+    assert_eq!(err.src, Source::Rank(0));
+    assert_eq!(err.tag, 9);
+    // The receiver blocked across the peer's 30 ms sleep, so it was
+    // parked — not spinning the whole time on this host.
+    assert!(waited >= Duration::from_millis(20), "{waited:?}");
+    assert!(parks >= 1, "receiver never parked");
+    // Lane closure is detected promptly (closure unparks the receiver),
+    // not only via the 50 ms timeout backstop repeating for long.
+    assert!(waited < Duration::from_secs(2), "{waited:?}");
+}
+
+#[test]
+fn peer_panic_while_parked_is_aborted() {
+    for transport in TRANSPORTS {
+        let panicked = AtomicBool::new(false);
+        let (err, waited, _) = observe_shutdown(transport, || {
+            panicked.store(true, Ordering::Relaxed);
+            panic!("peer rank exploded");
+        });
+        assert!(panicked.load(Ordering::Relaxed));
+        assert_eq!(err.kind, ShutdownKind::Aborted, "{transport:?}");
+        assert_eq!(err.src, Source::Rank(0));
+        // Abort raises the flag and unparks every rank explicitly; the
+        // 50 ms park timeout is only a backstop.
+        assert!(waited < Duration::from_secs(2), "{transport:?}: {waited:?}");
+    }
+}
+
+#[test]
+fn in_flight_message_beats_sender_exit() {
+    // A message already delivered to the transport survives its sender's
+    // exit: the receiver gets the value first, and only the *next*
+    // receive reports Disconnected (lane transport — see
+    // `peer_exit_while_parked_is_disconnected` for why the shared
+    // transport cannot observe peer exit).
+    let outcome = Runtime::new(2).transport(Transport::PerPeerLanes).run(|comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 4, 77u8);
+            0u8 // exits immediately; the lane closes behind the send
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+            let got: u8 = comm.recv(0, 4);
+            let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                comm.recv::<u8>(0, 4)
+            }));
+            let err = next
+                .expect_err("second recv should shut down")
+                .downcast::<ShutdownError>()
+                .expect("payload should be a ShutdownError");
+            assert_eq!(err.kind, ShutdownKind::Disconnected);
+            got
+        }
+    });
+    assert_eq!(outcome.results[1], 77);
+}
+
+#[test]
+fn sender_exit_does_not_strand_the_shared_transport_messages() {
+    // The shared transport keeps delivered messages available after the
+    // sender exits too; it just cannot report Disconnected afterwards
+    // (the abort flag covers the panic case, which is the one the
+    // runtime actually produces).
+    let outcome = Runtime::new(2).transport(Transport::SharedMailbox).run(|comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 4, 77u8);
+            0u8
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+            comm.recv::<u8>(0, 4)
+        }
+    });
+    assert_eq!(outcome.results[1], 77);
+}
+
+#[test]
+fn abort_reaches_any_source_receives() {
+    // `Source::Any` watches every lane; a panic anywhere must still
+    // unwind it as Aborted rather than leaving it waiting on the
+    // survivors.
+    for transport in TRANSPORTS {
+        let kinds: Mutex<Vec<ShutdownKind>> = Mutex::new(Vec::new());
+        let run = std::panic::catch_unwind(|| {
+            Runtime::new(4).transport(transport).run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("rank 0 exploded");
+                }
+                let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    comm.recv_any::<u8>(6)
+                }));
+                if let Err(payload) = blocked {
+                    if let Ok(err) = payload.downcast::<ShutdownError>() {
+                        assert_eq!(err.src, Source::Any);
+                        kinds.lock().unwrap().push(err.kind);
+                    }
+                }
+            })
+        });
+        assert!(run.is_err(), "{transport:?}: the panic must propagate");
+        let kinds = kinds.into_inner().unwrap();
+        assert_eq!(kinds.len(), 3, "{transport:?}: all blocked ranks unwound");
+        assert!(
+            kinds.iter().all(|&k| k == ShutdownKind::Aborted),
+            "{transport:?}: {kinds:?}"
+        );
+    }
+}

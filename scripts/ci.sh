@@ -12,3 +12,15 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace --benches
 cargo clippy --all-targets --offline -- -D warnings
 cargo test -q --offline --workspace
+
+# Smoke-run the figure/ablation harnesses with shrunk iteration counts:
+# catches bins that build but panic at runtime (bad arg parsing, schedule
+# assertion failures, transports disagreeing on message accounting).
+export GV_BENCH_QUICK=1
+for bin in fig2_is_verify fig3_mg_zran3 mpi_call_stats \
+           ablation_commutative ablation_aggregation \
+           ablation_scan_algorithm ablation_allreduce_algorithm \
+           transport_microbench; do
+    echo "smoke: $bin"
+    ./target/release/"$bin" > /dev/null
+done

@@ -237,7 +237,20 @@ fn cost_model_and_stats_are_deterministic_across_runs() {
                 o.rank_clocks.iter().map(|c| c.to_bits()).collect()
             };
         assert_eq!(clock_bits(&first), clock_bits(&second), "rank_clocks, p={p}");
-        assert_eq!(first.stats, second.stats, "stats snapshot, p={p}");
+        // Schedule-level statistics (calls, messages, bytes) are modeled
+        // and must be bit-identical. The transport-path counters are
+        // *observed* (ring vs stash hits, parks depend on thread timing),
+        // so they are masked out of the comparison.
+        let schedule_stats = |o: &gv_msgpass::RunOutcome<(u64, u64, usize)>| {
+            let mut stats = o.stats;
+            stats.transport = Default::default();
+            stats
+        };
+        assert_eq!(
+            schedule_stats(&first),
+            schedule_stats(&second),
+            "stats snapshot, p={p}"
+        );
         if p > 1 {
             assert!(
                 first.modeled_seconds > 0.0,
