@@ -1,0 +1,77 @@
+//! Guards for the recorded figure outputs in `results/`: the harnesses
+//! must reproduce them bit-for-bit under the default cost-driven
+//! selectors. This is what makes schedule additions (new allreduce or
+//! scan algorithms) safe — if a selector default ever moves a pinned
+//! call site off its recorded schedule, the modeled times or call counts
+//! change and these tests fail.
+//!
+//! The full FIG2 sweep is expensive unoptimized, so its guard replays
+//! only the class A/32 section and checks those rows verbatim against
+//! the recording; FIG3 and the call-stats table are cheap enough to
+//! compare whole.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn recorded(name: &str) -> String {
+    let path: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .env_remove("GV_BENCH_QUICK")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(out.status.success(), "{bin} failed: {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn mpi_call_stats_recording_is_bit_identical() {
+    let got = run(env!("CARGO_BIN_EXE_mpi_call_stats"), &[]);
+    assert_eq!(
+        got,
+        recorded("mpi_call_stats.txt"),
+        "mpi_call_stats output drifted from results/mpi_call_stats.txt — \
+         a selector default moved a pinned call site"
+    );
+}
+
+#[test]
+fn fig3_recording_is_bit_identical() {
+    let got = run(env!("CARGO_BIN_EXE_fig3_mg_zran3"), &[]);
+    assert_eq!(
+        got,
+        recorded("fig3_mg_zran3.txt"),
+        "fig3_mg_zran3 output drifted from results/fig3_mg_zran3.txt"
+    );
+}
+
+#[test]
+fn fig2_class_a_rows_match_the_recording() {
+    let got = run(env!("CARGO_BIN_EXE_fig2_is_verify"), &["--classes", "A/32"]);
+    let recording = recorded("fig2_is_verify.txt");
+    // Every data row of the regenerated class A/32 section (rows start
+    // with a right-aligned rank count) must appear verbatim in the full
+    // recording.
+    let mut checked = 0;
+    for line in got.lines() {
+        let trimmed = line.trim_start();
+        if trimmed
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
+            assert!(
+                recording.lines().any(|l| l == line),
+                "fig2 row not in recording:\n{line}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 7, "expected a full procs sweep, saw {checked} rows");
+}

@@ -13,9 +13,11 @@
 //!   distinct combining schedules for commutative vs. non-commutative
 //!   operators (paper §1);
 //! * [`scan_inclusive`](crate::comm::Comm::scan_inclusive) /
-//!   [`scan_exclusive`](crate::comm::Comm::scan_exclusive) — a shifted
-//!   Hillis–Steele parallel prefix valid for any (also non-power-of-two)
-//!   rank count and any associative, possibly non-commutative operator;
+//!   [`scan_exclusive`](crate::comm::Comm::scan_exclusive) — cost-driven
+//!   selection among a shifted Hillis–Steele parallel prefix, a
+//!   work-efficient binomial up/down-sweep, and (for splittable states) a
+//!   pipelined chain; all valid for any (also non-power-of-two) rank
+//!   count and any associative, possibly non-commutative operator;
 //! * [`alltoallv`](crate::comm::Comm::alltoallv) — rotated pairwise
 //!   exchange.
 //!
@@ -31,6 +33,8 @@ pub mod gather;
 pub mod reduce;
 pub mod reduce_scatter;
 pub mod scan;
+pub mod scan_binomial;
+pub mod scan_chain;
 pub mod scatter;
 pub mod select;
 pub mod shift;
@@ -45,3 +49,6 @@ pub(crate) const TAG_SCAN: Tag = RESERVED_TAG_BASE + 0x400;
 pub(crate) const TAG_ALLTOALL: Tag = RESERVED_TAG_BASE + 0x500;
 pub(crate) const TAG_REDUCE_SCATTER: Tag = RESERVED_TAG_BASE + 0x900;
 pub(crate) const TAG_ALLGATHER_RING: Tag = RESERVED_TAG_BASE + 0xA00;
+pub(crate) const TAG_SCAN_UP: Tag = RESERVED_TAG_BASE + 0xB00;
+pub(crate) const TAG_SCAN_DOWN: Tag = RESERVED_TAG_BASE + 0xC00;
+pub(crate) const TAG_SCAN_CHAIN: Tag = RESERVED_TAG_BASE + 0xD00;

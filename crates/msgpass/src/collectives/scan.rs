@@ -1,4 +1,4 @@
-//! Parallel-prefix scan collectives (Ladner–Fischer / Hillis–Steele style).
+//! Shifted recursive-doubling parallel prefix (Hillis–Steele style).
 //!
 //! The algorithm is a shifted recursive doubling valid for any rank count
 //! and any associative operator: in the round with distance `d`, rank `r`
@@ -12,67 +12,46 @@
 //! ⌈log₂ p⌉ rounds; the exclusive scan needs an identity supplier for rank
 //! 0, mirroring the paper's point that `LOCAL_XSCAN` requires the identity
 //! function while MPI instead leaves the first element undefined.
+//!
+//! This is the latency-optimal schedule and the selector's small-state
+//! default; the selector-routed entry points
+//! ([`scan_inclusive`](Comm::scan_inclusive) and friends, in
+//! `collectives/select.rs`) may instead pick the work-efficient binomial
+//! sweep (`scan_binomial.rs`) or, for splittable states, the pipelined
+//! chain (`scan_chain.rs`).
 
 use super::TAG_SCAN;
 use crate::comm::Comm;
+use crate::cost::ScanAlgorithm;
 use crate::stats::CallKind;
 
 impl Comm {
-    /// Inclusive scan: rank `r` receives `v₀ ⊕ v₁ ⊕ ⋯ ⊕ v_r`.
-    pub fn scan_inclusive<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        bytes_of: impl Fn(&T) -> usize,
-        combine: impl FnMut(T, T) -> T,
-    ) -> T {
-        self.stats().record_call(CallKind::Scan);
-        let _guard = self.enter_collective();
-        self.scan_impl(value, &bytes_of, combine).1
-    }
-
-    /// Exclusive scan: rank `r` receives `v₀ ⊕ ⋯ ⊕ v_{r−1}`; rank 0
-    /// receives `ident()`.
-    pub fn scan_exclusive<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        ident: impl FnOnce() -> T,
-        bytes_of: impl Fn(&T) -> usize,
-        combine: impl FnMut(T, T) -> T,
-    ) -> T {
-        self.stats().record_call(CallKind::Exscan);
-        let _guard = self.enter_collective();
-        self.scan_impl(value, &bytes_of, combine)
-            .0
-            .unwrap_or_else(ident)
-    }
-
-    /// Both scans at once (one communication schedule): `(exclusive,
-    /// inclusive)`, with `None` as rank 0's exclusive part.
-    ///
-    /// **Accounting convention**: one schedule, one call — recorded as a
-    /// single [`CallKind::Scan`] (the inclusive result is the primary;
-    /// the exclusive half is a free by-product of the same rounds, as an
-    /// MPI trace of the underlying traffic would show one collective).
-    /// `CallKind::Exscan` counts only dedicated
-    /// [`scan_exclusive`](Self::scan_exclusive) calls.
-    pub fn scan_both<T: Clone + Send + 'static>(
+    /// Both scans by the shifted recursive-doubling schedule, bypassing
+    /// the cost-driven selector. Accounting follows the `scan_both`
+    /// convention: one schedule, one [`CallKind::Scan`].
+    pub fn scan_both_recursive_doubling<T: Clone + Send + 'static>(
         &self,
         value: T,
         bytes_of: impl Fn(&T) -> usize,
         combine: impl FnMut(T, T) -> T,
     ) -> (Option<T>, T) {
         self.stats().record_call(CallKind::Scan);
+        self.stats()
+            .record_scan_algorithm(ScanAlgorithm::RecursiveDoubling);
         let _guard = self.enter_collective();
-        self.scan_impl(value, &bytes_of, combine)
+        let (ex, inc) = self.scan_rd_impl(value, &bytes_of, combine, true, true);
+        (ex, inc.expect("inclusive result was requested"))
     }
 
     /// Inclusive scan by a **linear chain**: rank `r` waits for rank
     /// `r−1`'s prefix, combines, and forwards — O(p) sequential hops.
     ///
-    /// This is the baseline the parallel-prefix algorithm (Ladner–Fischer,
-    /// the paper's foundation citation) replaces; it exists for the
-    /// `ablation_scan_algorithm` harness and for tests. Production code
-    /// should use [`scan_inclusive`](Self::scan_inclusive).
+    /// This is the baseline the parallel-prefix algorithms (Ladner–
+    /// Fischer, the paper's foundation citation) replace; it exists for
+    /// the `ablation_scan_algorithm` harness and for tests. Production
+    /// code should use [`scan_inclusive`](Self::scan_inclusive). (The
+    /// selector's pipelined chain in `scan_chain.rs` is this schedule's
+    /// segmented descendant, and strictly better for splittable states.)
     pub fn scan_inclusive_linear<T: Clone + Send + 'static>(
         &self,
         value: T,
@@ -95,29 +74,70 @@ impl Comm {
         acc
     }
 
-    pub(crate) fn scan_impl<T: Clone + Send + 'static>(
+    /// The shifted recursive-doubling rounds. `need_exclusive` /
+    /// `need_inclusive` say which results the caller will consume; they
+    /// gate only local clones and combines — the message schedule (count,
+    /// bytes, order) is identical in every mode, so virtual clocks and
+    /// traffic accounting cannot depend on the mode. The corresponding
+    /// result is `None` when not requested (and the exclusive result is
+    /// always `None` on rank 0).
+    pub(crate) fn scan_rd_impl<T: Clone + Send + 'static>(
         &self,
         value: T,
         bytes_of: &impl Fn(&T) -> usize,
         mut combine: impl FnMut(T, T) -> T,
-    ) -> (Option<T>, T) {
+        need_exclusive: bool,
+        need_inclusive: bool,
+    ) -> (Option<T>, Option<T>) {
+        debug_assert!(need_exclusive || need_inclusive);
         let p = self.size();
         let r = self.rank();
-        let mut inclusive = value;
+        let mut inclusive = Some(value);
         let mut exclusive: Option<T> = None;
         let mut dist = 1usize;
         while dist < p {
             if r + dist < p {
-                let bytes = bytes_of(&inclusive);
-                self.send_with_bytes(r + dist, TAG_SCAN, inclusive.clone(), bytes);
+                let bytes = bytes_of(inclusive.as_ref().expect("partial live while sends remain"));
+                // The partial is dead after this send iff the caller does
+                // not want the inclusive result, this rank receives no
+                // more (r < dist), and this is its last send
+                // (r + 2d ≥ p): move it onto the wire instead of cloning.
+                let payload = if !need_inclusive && r < dist && r + 2 * dist >= p {
+                    inclusive.take().unwrap()
+                } else {
+                    inclusive.as_ref().unwrap().clone()
+                };
+                self.send_with_bytes(r + dist, TAG_SCAN, payload, bytes);
             }
             if r >= dist {
                 let earlier: T = self.recv(r - dist, TAG_SCAN);
-                exclusive = Some(match exclusive {
-                    None => earlier.clone(),
-                    Some(e) => combine(earlier.clone(), e),
-                });
-                inclusive = combine(earlier, inclusive);
+                // The inclusive partial stays live only while it has a
+                // consumer left: a later send (r + 2d < p) or the caller.
+                // (`r + 2d < p` also covers every later receive's
+                // combine.) Once dead, `earlier` moves into the exclusive
+                // accumulator instead of being cloned for both halves.
+                let inclusive_live = need_inclusive || r + 2 * dist < p;
+                match (need_exclusive, inclusive_live) {
+                    (true, true) => {
+                        exclusive = Some(match exclusive.take() {
+                            None => earlier.clone(),
+                            Some(e) => combine(earlier.clone(), e),
+                        });
+                        inclusive = Some(combine(earlier, inclusive.take().unwrap()));
+                    }
+                    (true, false) => {
+                        exclusive = Some(match exclusive.take() {
+                            None => earlier,
+                            Some(e) => combine(earlier, e),
+                        });
+                        inclusive = None;
+                    }
+                    (false, true) => {
+                        inclusive = Some(combine(earlier, inclusive.take().unwrap()));
+                    }
+                    // Unreachable given the debug_assert; drop `earlier`.
+                    (false, false) => {}
+                }
             }
             dist <<= 1;
         }
@@ -203,6 +223,19 @@ mod tests {
     }
 
     #[test]
+    fn forced_recursive_doubling_matches_selector_result() {
+        for p in [1usize, 2, 5, 8] {
+            let outcome = Runtime::new(p).run(|comm| {
+                let (ex, inc) =
+                    comm.scan_both_recursive_doubling(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                let (ex2, inc2) = comm.scan_both(comm.rank() as u64 + 1, |_| 8, |a, b| a + b);
+                (ex == ex2, inc == inc2)
+            });
+            assert!(outcome.results.iter().all(|&(a, b)| a && b), "p={p}");
+        }
+    }
+
+    #[test]
     fn linear_scan_matches_prefix_scan() {
         for p in [1usize, 2, 5, 9] {
             let outcome = Runtime::new(p).run(|comm| {
@@ -242,5 +275,42 @@ mod tests {
         // the edges), far below the p² of a naive approach.
         assert!(outcome.stats.messages <= 64, "messages={}", outcome.stats.messages);
         assert!(outcome.stats.messages >= 15);
+    }
+
+    #[test]
+    fn clone_elision_modes_agree_and_keep_traffic_identical() {
+        // All three entry modes (inclusive-only, exclusive-only, both)
+        // run the identical message schedule; the clone/combine elision
+        // is local only.
+        for p in [2usize, 3, 8, 13] {
+            let both = Runtime::new(p).run(|comm| {
+                comm.scan_both(format!("<{}>", comm.rank()), |s: &String| s.len(), |a, b| a + &b)
+            });
+            let inc_only = Runtime::new(p).run(|comm| {
+                comm.scan_inclusive(format!("<{}>", comm.rank()), |s: &String| s.len(), |a, b| {
+                    a + &b
+                })
+            });
+            let exc_only = Runtime::new(p).run(|comm| {
+                comm.scan_exclusive(
+                    format!("<{}>", comm.rank()),
+                    String::new,
+                    |s: &String| s.len(),
+                    |a, b| a + &b,
+                )
+            });
+            for (r, (ex, inc)) in both.results.iter().enumerate() {
+                assert_eq!(inc, &inc_only.results[r], "p={p} r={r}");
+                assert_eq!(
+                    ex.clone().unwrap_or_default(),
+                    exc_only.results[r],
+                    "p={p} r={r}"
+                );
+            }
+            assert_eq!(both.stats.messages, inc_only.stats.messages, "p={p}");
+            assert_eq!(both.stats.messages, exc_only.stats.messages, "p={p}");
+            assert_eq!(both.stats.bytes, inc_only.stats.bytes, "p={p}");
+            assert_eq!(both.stats.bytes, exc_only.stats.bytes, "p={p}");
+        }
     }
 }

@@ -1,0 +1,212 @@
+//! Work-efficient binomial scan (Blelloch-style up-sweep/down-sweep).
+//!
+//! The schedule is the classic two-phase parallel prefix over a binomial
+//! tree of rank ranges, generalized to any (also non-power-of-two) rank
+//! count by always splitting a range `[lo, hi)` at `lo +` the largest
+//! power of two below its length:
+//!
+//! * **Up-sweep** (post-order): for each tree node `[lo, mid, hi)`, rank
+//!   `mid−1` — which by then holds the total of `[lo, mid)` — sends it to
+//!   rank `hi−1`, which saves it and folds it into its own running total.
+//!   After the sweep, rank `hi−1` of every node holds the total of
+//!   `[lo, hi)`; the root rank `p−1` holds the grand total.
+//! * **Down-sweep** (pre-order): each node's `hi−1` holds the exclusive
+//!   prefix of `lo`; it forwards that prefix to `mid−1` (the left half's
+//!   top) and folds the saved left-half total in, leaving itself the
+//!   exclusive prefix of `mid` for its deeper right-half nodes. Nodes
+//!   with `lo == 0` skip the send: the prefix of rank 0 is statically
+//!   empty, and both sides of the pair know it from the shared schedule.
+//!
+//! Every rank receives its exclusive prefix exactly once (ranks on the
+//! leftmost spine receive nothing and keep the empty prefix), and the
+//! inclusive result is one extra combine with the rank's own up-sweep
+//! total — so the whole scan costs `2⌈log₂p⌉` rounds but only `O(p)`
+//! messages and combines, against Hillis–Steele's `Θ(p·log p)`. Combines
+//! always run `(earlier, later)` in rank order, so non-commutative
+//! operators are safe.
+
+use super::{TAG_SCAN_DOWN, TAG_SCAN_UP};
+use crate::comm::Comm;
+use crate::cost::ScanAlgorithm;
+use crate::stats::CallKind;
+
+/// The binomial recursion over `[0, p)`, in post-order (children before
+/// their parent). A node is recorded as `(lo, mid, hi)` with
+/// `mid = lo + 2^⌊log₂(hi−lo−1)⌋·…` — the largest power of two strictly
+/// below the range length — so both halves are themselves binomial
+/// ranges. Every rank derives the identical schedule from `p` alone.
+fn binomial_nodes(p: usize) -> Vec<(usize, usize, usize)> {
+    fn rec(lo: usize, hi: usize, out: &mut Vec<(usize, usize, usize)>) {
+        let m = hi - lo;
+        if m < 2 {
+            return;
+        }
+        let mid = lo + m.next_power_of_two() / 2;
+        rec(lo, mid, out);
+        rec(mid, hi, out);
+        out.push((lo, mid, hi));
+    }
+    let mut nodes = Vec::new();
+    rec(0, p, &mut nodes);
+    nodes
+}
+
+impl Comm {
+    /// Both scans by the work-efficient binomial schedule, bypassing the
+    /// cost-driven selector (the selector-routed entry points are
+    /// [`scan_both`](Self::scan_both) and friends). Accounting follows
+    /// the `scan_both` convention: one schedule, one
+    /// [`CallKind::Scan`].
+    pub fn scan_both_binomial<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        self.stats().record_call(CallKind::Scan);
+        self.stats().record_scan_algorithm(ScanAlgorithm::Binomial);
+        let _guard = self.enter_collective();
+        self.scan_binomial_impl(value, &bytes_of, combine)
+    }
+
+    pub(crate) fn scan_binomial_impl<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: &impl Fn(&T) -> usize,
+        mut combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        let p = self.size();
+        let r = self.rank();
+        if p < 2 {
+            return (None, value);
+        }
+        let nodes = binomial_nodes(p);
+
+        // Up-sweep: `acc` grows from this rank's own value to the total
+        // of its maximal subtree; `saved` stacks the left-half totals
+        // received, to be replayed (LIFO) by the down-sweep.
+        let mut acc = Some(value);
+        let mut saved: Vec<T> = Vec::new();
+        for &(_, mid, hi) in &nodes {
+            if r + 1 == mid {
+                let a = acc.as_ref().expect("up-sweep total is live until the down-sweep");
+                let bytes = bytes_of(a);
+                self.send_with_bytes(hi - 1, TAG_SCAN_UP, a.clone(), bytes);
+            } else if r + 1 == hi {
+                let left: T = self.recv(mid - 1, TAG_SCAN_UP);
+                saved.push(left.clone());
+                acc = Some(combine(left, acc.take().expect("up-sweep total present")));
+            }
+        }
+
+        // Down-sweep: `prefix` is this rank's running exclusive prefix
+        // (None = empty, on the leftmost spine); `inclusive` is computed
+        // at the rank's single prefix-receive, consuming `acc`.
+        let mut prefix: Option<T> = None;
+        let mut inclusive: Option<T> = None;
+        for &(lo, mid, hi) in nodes.iter().rev() {
+            if r + 1 == hi {
+                let left = saved.pop().expect("one saved left total per up-sweep receive");
+                if lo > 0 {
+                    let pfx = prefix.as_ref().expect("non-spine prefix is non-empty");
+                    let bytes = bytes_of(pfx);
+                    self.send_with_bytes(mid - 1, TAG_SCAN_DOWN, pfx.clone(), bytes);
+                }
+                prefix = Some(match prefix.take() {
+                    None => left,
+                    Some(pf) => combine(pf, left),
+                });
+            } else if r + 1 == mid && lo > 0 {
+                let pfx: T = self.recv(hi - 1, TAG_SCAN_DOWN);
+                inclusive = Some(combine(
+                    pfx.clone(),
+                    acc.take().expect("each rank receives its prefix at most once"),
+                ));
+                prefix = Some(pfx);
+            }
+        }
+
+        // Ranks that never received a prefix (the leftmost spine and the
+        // root) have their subtree anchored at rank 0, so the up-sweep
+        // total already *is* their inclusive result.
+        let inclusive =
+            inclusive.unwrap_or_else(|| acc.take().expect("unconsumed up-sweep total"));
+        (prefix, inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::binomial_nodes;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn nodes_cover_all_ranges_in_post_order() {
+        assert_eq!(binomial_nodes(1), vec![]);
+        assert_eq!(binomial_nodes(2), vec![(0, 1, 2)]);
+        assert_eq!(
+            binomial_nodes(6),
+            vec![(0, 1, 2), (2, 3, 4), (0, 2, 4), (4, 5, 6), (0, 4, 6)]
+        );
+        for p in 1..=33usize {
+            let nodes = binomial_nodes(p);
+            // p−1 internal nodes, children strictly before parents.
+            assert_eq!(nodes.len(), p.saturating_sub(1), "p={p}");
+            for (i, &(lo, mid, hi)) in nodes.iter().enumerate() {
+                assert!(lo < mid && mid < hi && hi <= p, "p={p} node={i}");
+                let sub = mid - lo;
+                assert!(sub.is_power_of_two() && sub < hi - lo && 2 * sub >= hi - lo);
+                for &(clo, _, chi) in &nodes[i + 1..] {
+                    assert!(
+                        !(clo >= lo && chi <= hi && (clo, chi) != (lo, hi)),
+                        "p={p}: child ({clo},{chi}) after parent ({lo},{hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_scan_matches_oracle_for_all_sizes() {
+        for p in 1..=16usize {
+            let outcome = Runtime::new(p).run(|comm| {
+                comm.scan_both_binomial(comm.rank() as u64 + 1, |_| 8, |a, b| a + b)
+            });
+            for (r, (ex, inc)) in outcome.results.iter().enumerate() {
+                let below: u64 = (1..=r as u64).sum();
+                assert_eq!(ex.unwrap_or(0), below, "p={p} r={r}");
+                assert_eq!(*inc, below + r as u64 + 1, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_scan_is_rank_ordered_for_noncommutative() {
+        for p in [2usize, 3, 6, 7, 8, 13] {
+            let outcome = Runtime::new(p).run(|comm| {
+                comm.scan_both_binomial(
+                    format!("<{}>", comm.rank()),
+                    |s: &String| s.len(),
+                    |a, b| a + &b,
+                )
+            });
+            for (r, (ex, inc)) in outcome.results.iter().enumerate() {
+                let expected_ex: String = (0..r).map(|i| format!("<{i}>")).collect();
+                let expected_inc: String = (0..=r).map(|i| format!("<{i}>")).collect();
+                assert_eq!(ex.clone().unwrap_or_default(), expected_ex, "p={p} r={r}");
+                assert_eq!(inc, &expected_inc, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_scan_uses_linear_messages() {
+        // 2(p−1) − ⌈log₂p⌉ messages: p−1 up, p−1 down minus the spine's
+        // skipped empty-prefix sends. At p=16 that is 26, well below the
+        // 49 of recursive doubling.
+        let outcome = Runtime::new(16).run(|comm| {
+            comm.scan_both_binomial(1u64, |_| 8, |a, b| a + b);
+        });
+        assert_eq!(outcome.stats.messages, 26, "messages={}", outcome.stats.messages);
+    }
+}

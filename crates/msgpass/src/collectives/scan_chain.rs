@@ -1,0 +1,183 @@
+//! Pipelined chain scan over state segments.
+//!
+//! A plain chain scan (rank `r` waits for `r−1`'s prefix, combines,
+//! forwards) serializes the whole state across `p−1` hops. Splitting the
+//! state into `S` segments turns the chain into a pipeline: segment `j`
+//! moves rank-to-rank one hop behind segment `j−1`, so the schedule
+//! finishes in `p+S−2` stages of one `n/S`-byte segment each instead of
+//! `p−1` hops of `n` bytes — chain latency overlaps with bandwidth.
+//! Aggregate traffic is `(p−1)·n` bytes, even below the binomial's
+//! `≈2p·n`, which is why the selector prefers it for large states
+//! whenever the state can be split at all.
+//!
+//! Correctness needs exactly the `SplittableState` laws from `gv-core`:
+//! each segment is scanned independently in rank order (so
+//! non-commutative operators are safe — there is no cross-segment
+//! combining), and reassembling per-segment prefixes into whole-state
+//! prefixes is the distributivity law. Segment boundaries are chosen by
+//! [`ScanAlgorithm::chain_segments`](crate::cost::ScanAlgorithm::chain_segments)
+//! from `(cost model, p, bytes)` alone, so every rank derives the same
+//! schedule.
+
+use super::TAG_SCAN_CHAIN;
+use crate::comm::Comm;
+use crate::cost::ScanAlgorithm;
+use crate::stats::CallKind;
+
+impl Comm {
+    /// Both scans by the pipelined chain schedule with an explicit
+    /// segment count, bypassing the cost-driven selector (the
+    /// selector-routed entry points are
+    /// [`scan_both_splittable`](Self::scan_both_splittable) and
+    /// friends). `split`/`unsplit` must satisfy the `SplittableState`
+    /// laws. Accounting follows the `scan_both` convention: one
+    /// schedule, one [`CallKind::Scan`].
+    pub fn scan_both_pipelined_chain<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        self.stats().record_call(CallKind::Scan);
+        self.stats().record_scan_algorithm(ScanAlgorithm::PipelinedChain);
+        let _guard = self.enter_collective();
+        let (ex, inc) =
+            self.scan_chain_impl(value, segments, split, unsplit, &bytes_of, combine, true);
+        (ex, inc)
+    }
+
+    /// `need_exclusive = false` skips the per-segment prefix clone (the
+    /// received prefix is moved straight into the combine) — it changes
+    /// only local copying, never messages, bytes, or combine counts.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_chain_impl<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: &impl Fn(&T) -> usize,
+        mut combine: impl FnMut(T, T) -> T,
+        need_exclusive: bool,
+    ) -> (Option<T>, T) {
+        let p = self.size();
+        let r = self.rank();
+        if p < 2 {
+            return (None, value);
+        }
+        let s = segments.max(1);
+        let segs = split(value, s);
+        assert_eq!(
+            segs.len(),
+            s,
+            "split must return exactly the requested number of segments"
+        );
+        let mut incl = Vec::with_capacity(s);
+        let mut excl = Vec::with_capacity(if need_exclusive { s } else { 0 });
+        for seg in segs {
+            // Per-segment chain step. Segments of one (src, tag) pair
+            // arrive in send order (MPI non-overtaking), so a single tag
+            // keeps them matched positionally.
+            let inc = if r == 0 {
+                seg
+            } else {
+                let pfx: T = self.recv(r - 1, TAG_SCAN_CHAIN);
+                if need_exclusive {
+                    let inc = combine(pfx.clone(), seg);
+                    excl.push(pfx);
+                    inc
+                } else {
+                    combine(pfx, seg)
+                }
+            };
+            if r + 1 < p {
+                let bytes = bytes_of(&inc);
+                self.send_with_bytes(r + 1, TAG_SCAN_CHAIN, inc.clone(), bytes);
+            }
+            incl.push(inc);
+        }
+        let exclusive = (need_exclusive && r > 0).then(|| unsplit(excl));
+        (exclusive, unsplit(incl))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Runtime;
+    use gv_core::split::{split_vec_segments, unsplit_vec_segments};
+
+    fn add(mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    }
+
+    #[test]
+    fn chain_scan_matches_oracle_for_all_sizes_and_segment_counts() {
+        for p in 1..=9usize {
+            for segments in [1usize, 2, 3, 7] {
+                let outcome = Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank() as u64 + 1; 12];
+                    comm.scan_both_pipelined_chain(
+                        state,
+                        segments,
+                        split_vec_segments,
+                        unsplit_vec_segments,
+                        |v: &Vec<u64>| v.len() * 8,
+                        add,
+                    )
+                });
+                for (r, (ex, inc)) in outcome.results.iter().enumerate() {
+                    let below: u64 = (1..=r as u64).sum();
+                    if r == 0 {
+                        assert!(ex.is_none(), "p={p} segments={segments}");
+                    } else {
+                        assert_eq!(ex.as_ref().unwrap(), &vec![below; 12], "p={p} s={segments}");
+                    }
+                    assert_eq!(inc, &vec![below + r as u64 + 1; 12], "p={p} s={segments}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_scan_message_count_is_hops_times_segments() {
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 16];
+            comm.scan_both_pipelined_chain(
+                state,
+                4,
+                split_vec_segments,
+                unsplit_vec_segments,
+                |v: &Vec<u64>| v.len() * 8,
+                add,
+            );
+        });
+        // (p−1) hops × S segments.
+        assert_eq!(outcome.stats.messages, 7 * 4);
+    }
+
+    #[test]
+    fn chain_scan_handles_more_segments_than_elements() {
+        // Empty segments must flow through split/combine/unsplit intact.
+        let outcome = Runtime::new(4).run(|comm| {
+            let state = vec![comm.rank() as u64 + 1; 2];
+            comm.scan_both_pipelined_chain(
+                state,
+                5,
+                split_vec_segments,
+                unsplit_vec_segments,
+                |v: &Vec<u64>| v.len() * 8,
+                add,
+            )
+        });
+        for (r, (_, inc)) in outcome.results.iter().enumerate() {
+            let below: u64 = (1..=r as u64).sum();
+            assert_eq!(inc, &vec![below + r as u64 + 1; 2], "r={r}");
+        }
+    }
+}

@@ -1,19 +1,33 @@
-//! Cost-driven allreduce algorithm selection.
+//! Cost-driven collective algorithm selection.
 //!
-//! The runtime has three allreduce schedules with different α–β profiles
-//! and different correctness preconditions (see
-//! [`AllreduceAlgorithm`]); these entry points pick the cheapest
-//! *eligible* one per call from the communicator's cost model, the
-//! call's wire size, and the operator's commutativity — the paper's
-//! point that the operator abstraction (its `COMMUTATIVE` flag included)
+//! The runtime has three allreduce schedules and three scan schedules
+//! with different α–β profiles and different correctness preconditions
+//! (see [`AllreduceAlgorithm`] and [`ScanAlgorithm`]); these entry
+//! points pick the cheapest *eligible* one per call from the
+//! communicator's cost model, the call's wire size, and the operator's
+//! declared properties — the paper's point that the operator abstraction
 //! is what lets the runtime choose better combine schedules.
 //!
-//! [`Comm::allreduce`] is the scalar-state entry point (reduce-scatter
-//! ineligible: nothing to split); [`Comm::allreduce_splittable`] is the
-//! full three-way selector for states that split into per-rank segments.
+//! For allreduce the discriminating declaration is commutativity (+
+//! splittability): [`Comm::allreduce`] is the scalar-state entry point
+//! (reduce-scatter ineligible: nothing to split);
+//! [`Comm::allreduce_splittable`] is the full three-way selector.
+//!
+//! For scans every candidate schedule combines in rank order, so only
+//! *splittability* discriminates: [`Comm::scan_inclusive`] /
+//! [`Comm::scan_exclusive`] / [`Comm::scan_both`] choose between
+//! recursive doubling and the binomial sweep, and the `_splittable`
+//! variants additionally admit the pipelined chain.
+//!
+//! Selection uses this rank's local `bytes_of(&value)` as the wire size.
+//! Under the SPMD convention that all ranks pass equal-shaped states
+//! this is uniform; states whose wire size varies per rank (e.g. short
+//! strings) sit far below any crossover, where every model lands on the
+//! same latency-optimal default.
 
 use crate::comm::Comm;
-use crate::cost::AllreduceAlgorithm;
+use crate::cost::{AllreduceAlgorithm, ScanAlgorithm};
+use crate::stats::CallKind;
 
 impl Comm {
     /// Picks the cheapest eligible allreduce schedule for a state of
@@ -78,6 +92,183 @@ impl Comm {
             }
             AllreduceAlgorithm::RecursiveDoubling => {
                 self.allreduce_recursive_doubling(value, bytes_of, combine)
+            }
+        }
+    }
+
+    /// Picks the cheapest eligible scan schedule for a state of
+    /// `wire_bytes` bytes under this communicator's cost model.
+    /// `splittable` says whether the caller could run the pipelined
+    /// chain at all. There is no commutativity parameter: every scan
+    /// schedule combines in rank order (see [`ScanAlgorithm::select`]).
+    pub fn select_scan_algorithm(&self, wire_bytes: usize, splittable: bool) -> ScanAlgorithm {
+        ScanAlgorithm::select(&self.cost_model(), self.size(), wire_bytes, splittable)
+    }
+
+    /// Inclusive scan with cost-driven schedule selection: rank `r`
+    /// receives `v₀ ⊕ v₁ ⊕ ⋯ ⊕ v_r`.
+    pub fn scan_inclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Scan);
+        let (_, inc) = self.scan_dispatch(value, &bytes_of, combine, false, true);
+        inc.expect("inclusive result was requested")
+    }
+
+    /// Exclusive scan with cost-driven schedule selection: rank `r`
+    /// receives `v₀ ⊕ ⋯ ⊕ v_{r−1}`; rank 0 receives `ident()`.
+    pub fn scan_exclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        ident: impl FnOnce() -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Exscan);
+        self.scan_dispatch(value, &bytes_of, combine, true, false)
+            .0
+            .unwrap_or_else(ident)
+    }
+
+    /// Both scans at once (one communication schedule): `(exclusive,
+    /// inclusive)`, with `None` as rank 0's exclusive part.
+    ///
+    /// **Accounting convention**: one schedule, one call — recorded as a
+    /// single [`CallKind::Scan`] (the inclusive result is the primary;
+    /// the exclusive half is a free by-product of the same rounds, as an
+    /// MPI trace of the underlying traffic would show one collective).
+    /// `CallKind::Exscan` counts only dedicated
+    /// [`scan_exclusive`](Self::scan_exclusive) calls. The same holds
+    /// for the per-schedule counters: one schedule, one
+    /// [`ScanAlgorithm`] record.
+    pub fn scan_both<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        self.stats().record_call(CallKind::Scan);
+        let (ex, inc) = self.scan_dispatch(value, &bytes_of, combine, true, true);
+        (ex, inc.expect("inclusive result was requested"))
+    }
+
+    /// Inclusive scan over a splittable state: like
+    /// [`scan_inclusive`](Self::scan_inclusive), but the selector may
+    /// additionally pick the pipelined chain. `split`/`unsplit` must
+    /// satisfy the `SplittableState` laws from `gv-core` and only run
+    /// when the chain wins.
+    pub fn scan_inclusive_splittable<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Scan);
+        let (_, inc) =
+            self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, false, true);
+        inc.expect("inclusive result was requested")
+    }
+
+    /// Exclusive scan over a splittable state; rank 0 receives
+    /// `ident()`.
+    pub fn scan_exclusive_splittable<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        ident: impl FnOnce() -> T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Exscan);
+        self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, true, false)
+            .0
+            .unwrap_or_else(ident)
+    }
+
+    /// Both scans over a splittable state in one schedule, under the
+    /// [`scan_both`](Self::scan_both) accounting convention.
+    pub fn scan_both_splittable<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> (Option<T>, T) {
+        self.stats().record_call(CallKind::Scan);
+        let (ex, inc) =
+            self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, true, true);
+        (ex, inc.expect("inclusive result was requested"))
+    }
+
+    /// Two-way dispatch (recursive doubling vs. binomial) for whole
+    /// states. The caller has already recorded its [`CallKind`]; this
+    /// records the schedule and runs it inside the collective guard.
+    fn scan_dispatch<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: &impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+        need_exclusive: bool,
+        need_inclusive: bool,
+    ) -> (Option<T>, Option<T>) {
+        let algo = self.select_scan_algorithm(bytes_of(&value), false);
+        self.stats().record_scan_algorithm(algo);
+        let _guard = self.enter_collective();
+        match algo {
+            ScanAlgorithm::Binomial => {
+                let (ex, inc) = self.scan_binomial_impl(value, bytes_of, combine);
+                (ex, Some(inc))
+            }
+            _ => self.scan_rd_impl(value, bytes_of, combine, need_exclusive, need_inclusive),
+        }
+    }
+
+    /// Three-way dispatch for splittable states; the chain's segment
+    /// count comes from the same deterministic cost function every rank
+    /// evaluates, so schedule and estimate always agree.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_splittable_dispatch<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl Fn(Vec<T>) -> T,
+        bytes_of: &impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+        need_exclusive: bool,
+        need_inclusive: bool,
+    ) -> (Option<T>, Option<T>) {
+        let bytes = bytes_of(&value);
+        let algo = self.select_scan_algorithm(bytes, true);
+        self.stats().record_scan_algorithm(algo);
+        let _guard = self.enter_collective();
+        match algo {
+            ScanAlgorithm::PipelinedChain => {
+                let segments =
+                    ScanAlgorithm::chain_segments(&self.cost_model(), self.size(), bytes);
+                let (ex, inc) = self.scan_chain_impl(
+                    value,
+                    segments,
+                    split,
+                    unsplit,
+                    bytes_of,
+                    combine,
+                    need_exclusive,
+                );
+                (ex, Some(inc))
+            }
+            ScanAlgorithm::Binomial => {
+                let (ex, inc) = self.scan_binomial_impl(value, bytes_of, combine);
+                (ex, Some(inc))
+            }
+            ScanAlgorithm::RecursiveDoubling => {
+                self.scan_rd_impl(value, bytes_of, combine, need_exclusive, need_inclusive)
             }
         }
     }

@@ -182,6 +182,148 @@ impl AllreduceAlgorithm {
     }
 }
 
+/// The scan schedules the runtime can choose between.
+///
+/// All three schedules combine strictly in rank order, so — unlike
+/// allreduce selection — commutativity never matters for eligibility.
+/// Only *splittability* does: the pipelined chain ships per-segment
+/// partials, which requires the `SplittableState` distributivity law
+/// (segment-wise combine + reassembly equals whole-state combine).
+///
+/// The α–β estimate blends two terms. The first is the schedule's
+/// critical path, `rounds · (α + βn)`, exactly like the allreduce
+/// estimates. The second is the schedule's *aggregate* traffic — every
+/// byte any rank sends or streams through `combine`, priced at β — which
+/// is what separates work-efficient schedules from latency-optimal ones:
+/// on the critical path alone Hillis–Steele (⌈log₂p⌉ rounds) beats the
+/// binomial scan (2⌈log₂p⌉ rounds) at every size, yet it moves
+/// Θ(p·log p) full states where the binomial moves Θ(p). Ranks share the
+/// transport (here one host's memory system; on a cluster, NICs and
+/// bisection), so for large states the aggregate volume, not the round
+/// count, bounds the wall time — the quantity the
+/// `ablation_scan_algorithm` harness measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ScanAlgorithm {
+    /// Shifted recursive doubling (Hillis–Steele): `⌈log₂p⌉` rounds,
+    /// `p·⌈log₂p⌉ − (2^⌈log₂p⌉ − 1)` messages. Latency-optimal; the
+    /// small-state default.
+    RecursiveDoubling,
+    /// Work-efficient binomial up-sweep/down-sweep (Blelloch-style):
+    /// `2⌈log₂p⌉` rounds but only `O(p)` messages and combines. Wins
+    /// when states are big or `combine` is expensive.
+    Binomial,
+    /// Pipelined chain over state segments: segment `j` flows rank-to-rank
+    /// one hop behind segment `j−1`, overlapping chain latency with
+    /// bandwidth. Requires a splittable state.
+    PipelinedChain,
+}
+
+impl ScanAlgorithm {
+    /// All algorithms, for iteration and display.
+    pub const ALL: [ScanAlgorithm; 3] = [
+        ScanAlgorithm::RecursiveDoubling,
+        ScanAlgorithm::Binomial,
+        ScanAlgorithm::PipelinedChain,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanAlgorithm::RecursiveDoubling => "recursive-doubling",
+            ScanAlgorithm::Binomial => "binomial",
+            ScanAlgorithm::PipelinedChain => "pipelined-chain",
+        }
+    }
+
+    /// α–β estimate of one scan of a `bytes`-byte state over `ranks`
+    /// ranks: critical-path transit plus aggregate traffic (see the type
+    /// docs for why the aggregate term is in the model).
+    pub fn estimated_seconds(self, cost: &CostModel, ranks: usize, bytes: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let p = ranks as f64;
+        let n = bytes as f64;
+        let rounds = ranks.next_power_of_two().trailing_zeros() as f64;
+        match self {
+            ScanAlgorithm::RecursiveDoubling => {
+                // Round d has p−d senders: Σ_{d=2^k<p}(p−d) messages; every
+                // receive feeds one inclusive combine, and all but each
+                // rank's first also feed one exclusive combine.
+                let msgs = p * rounds - (ranks.next_power_of_two() as f64 - 1.0);
+                let combines = 2.0 * msgs - (p - 1.0);
+                rounds * cost.transit(bytes) + (msgs + combines) * n * cost.beta
+            }
+            ScanAlgorithm::Binomial => {
+                // p−1 up-sweep and ≤ p−1 down-sweep messages; each message
+                // feeds at most one combine plus one inclusive fix-up.
+                let msgs = 2.0 * (p - 1.0);
+                let combines = 3.0 * (p - 1.0);
+                2.0 * rounds * cost.transit(bytes) + (msgs + combines) * n * cost.beta
+            }
+            ScanAlgorithm::PipelinedChain => {
+                // p−1+S−1 pipeline stages of one n/S-byte segment each;
+                // aggregate is (p−1)·n bytes sent + (p−1)·n combined.
+                let s = Self::chain_segments(cost, ranks, bytes) as f64;
+                let stages = p + s - 2.0;
+                let hop = cost.alpha + cost.beta * n / s;
+                stages * hop + 2.0 * (p - 1.0) * n * cost.beta
+            }
+        }
+    }
+
+    /// Deterministic segment count for the pipelined chain: minimizes the
+    /// stage term `(p+S−2)(α + βn/S)` at `S* = √((p−1)·βn/α)`, clamped to
+    /// `[1, 64]` and to segments of at least 512 bytes. Depends only on
+    /// `(cost, ranks, bytes)`, so every rank computes the same schedule
+    /// and the estimate prices the schedule actually run.
+    pub fn chain_segments(cost: &CostModel, ranks: usize, bytes: usize) -> usize {
+        if ranks <= 1 || bytes == 0 {
+            return 1;
+        }
+        let ideal = ((ranks as f64 - 1.0) * cost.beta * bytes as f64 / cost.alpha).sqrt();
+        let cap = 64.0_f64.min((bytes / 512).max(1) as f64);
+        if ideal.is_nan() {
+            // α = β = 0 (the free model): segmentation is cost-neutral.
+            1
+        } else {
+            ideal.round().clamp(1.0, cap) as usize
+        }
+    }
+
+    /// Picks the cheapest eligible scan schedule for one call.
+    ///
+    /// `splittable` says whether the caller can split the state into
+    /// segments satisfying the `SplittableState` laws; the pipelined
+    /// chain is only eligible when it holds. There is no `commutative`
+    /// parameter: every candidate combines in rank order, so operator
+    /// commutativity never constrains the choice. Ties go to the earlier
+    /// entry of the preference order (recursive doubling, then binomial),
+    /// so the latency-optimal schedule wins when the model cannot
+    /// separate them.
+    pub fn select(cost: &CostModel, ranks: usize, bytes: usize, splittable: bool) -> ScanAlgorithm {
+        let candidates = [
+            ScanAlgorithm::RecursiveDoubling,
+            ScanAlgorithm::Binomial,
+            ScanAlgorithm::PipelinedChain,
+        ];
+        let mut best = ScanAlgorithm::RecursiveDoubling;
+        let mut best_cost = f64::INFINITY;
+        for algo in candidates {
+            if algo == ScanAlgorithm::PipelinedChain && !(splittable && ranks >= 2) {
+                continue;
+            }
+            let estimate = algo.estimated_seconds(cost, ranks, bytes);
+            if estimate < best_cost {
+                best = algo;
+                best_cost = estimate;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +387,85 @@ mod tests {
             AllreduceAlgorithm::select(&m, 8, 64 << 10, true, false),
             AllreduceAlgorithm::RecursiveDoubling
         );
+    }
+
+    #[test]
+    fn scan_selector_keeps_recursive_doubling_for_small_states() {
+        let m = CostModel::cluster_2006();
+        // Every scan the pinned harnesses issue is 8 bytes (IS offsets) or
+        // a few bytes (string tests) — far below the ~2.5 KiB crossover —
+        // and none uses the `_splittable` entry points, so recursive
+        // doubling must stay the default at every rank count.
+        for p in 2..=64usize {
+            assert_eq!(
+                ScanAlgorithm::select(&m, p, 8, false),
+                ScanAlgorithm::RecursiveDoubling,
+                "p={p}"
+            );
+        }
+        // Splittable small states: same story once the chain's p−1 hops
+        // exceed recursive doubling's ⌈log₂p⌉ rounds (at p ≤ 3 they are
+        // equal and the chain legitimately wins on aggregate traffic).
+        for p in 4..=64usize {
+            assert_eq!(
+                ScanAlgorithm::select(&m, p, 8, true),
+                ScanAlgorithm::RecursiveDoubling,
+                "p={p} splittable"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_selector_picks_binomial_for_large_unsplittable_states() {
+        let m = CostModel::cluster_2006();
+        // 64 KiB at p=8: aggregate traffic dominates; binomial moves
+        // Θ(p) states where Hillis–Steele moves Θ(p·log p).
+        assert_eq!(
+            ScanAlgorithm::select(&m, 8, 64 << 10, false),
+            ScanAlgorithm::Binomial
+        );
+        assert_eq!(
+            ScanAlgorithm::select(&m, 16, 64 << 10, false),
+            ScanAlgorithm::Binomial
+        );
+    }
+
+    #[test]
+    fn scan_selector_picks_pipelined_chain_for_large_splittable_states() {
+        let m = CostModel::cluster_2006();
+        assert_eq!(
+            ScanAlgorithm::select(&m, 8, 64 << 10, true),
+            ScanAlgorithm::PipelinedChain
+        );
+        // Unsplittable state: chain ineligible regardless of cost.
+        assert_ne!(
+            ScanAlgorithm::select(&m, 8, 64 << 10, false),
+            ScanAlgorithm::PipelinedChain
+        );
+    }
+
+    #[test]
+    fn single_rank_scan_is_free() {
+        let m = CostModel::cluster_2006();
+        for algo in ScanAlgorithm::ALL {
+            assert_eq!(algo.estimated_seconds(&m, 1, 1 << 20), 0.0);
+            assert_eq!(algo.estimated_seconds(&m, 0, 1 << 20), 0.0);
+        }
+    }
+
+    #[test]
+    fn chain_segments_are_deterministic_and_clamped() {
+        let m = CostModel::cluster_2006();
+        // Tiny states: one segment (no point splitting below 512 B).
+        assert_eq!(ScanAlgorithm::chain_segments(&m, 8, 8), 1);
+        assert_eq!(ScanAlgorithm::chain_segments(&m, 1, 1 << 20), 1);
+        assert_eq!(ScanAlgorithm::chain_segments(&m, 8, 0), 1);
+        // 64 KiB at p=8: √(7·β·n/α) ≈ 9.6 → 10 segments.
+        assert_eq!(ScanAlgorithm::chain_segments(&m, 8, 64 << 10), 10);
+        // Huge states hit the 64-segment cap.
+        assert_eq!(ScanAlgorithm::chain_segments(&m, 64, 64 << 20), 64);
+        // The free model must not divide by zero (NaN → 1 segment).
+        assert_eq!(ScanAlgorithm::chain_segments(&CostModel::free(), 8, 1 << 20), 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod runtime;
 pub mod stats;
 
 pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
-pub use cost::{AllreduceAlgorithm, CostModel};
+pub use cost::{AllreduceAlgorithm, CostModel, ScanAlgorithm};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
 pub use runtime::{RunOutcome, Runtime, Transport};

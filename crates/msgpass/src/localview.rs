@@ -112,6 +112,30 @@ fn vec_bytes<T>(v: &Vec<T>) -> usize {
     v.len() * std::mem::size_of::<T>()
 }
 
+/// Balanced contiguous chunking (first `len % parts` chunks get one extra
+/// element), the split half of the aggregate scans' splittable-state pair.
+/// Depends only on `(len, parts)`, so equal-width aggregates split
+/// identically on every rank.
+fn split_vec_segments<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    assert!(parts >= 1, "cannot split into zero segments");
+    let n = v.len();
+    let (base, extra) = (n / parts, n % parts);
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let rest = v.split_off(base + usize::from(i < extra));
+        out.push(std::mem::replace(&mut v, rest));
+    }
+    out
+}
+
+fn unsplit_vec_segments<T>(segments: Vec<Vec<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(segments.iter().map(Vec::len).sum());
+    for seg in segments {
+        out.extend(seg);
+    }
+    out
+}
+
 /// Aggregated `LOCAL_REDUCE`: element-wise reduction of `values` across
 /// ranks (§2.1), one message per tree edge.
 pub fn local_reduce_agg<T: Send + 'static>(
@@ -133,12 +157,22 @@ pub fn local_allreduce_agg<T: Clone + Send + 'static>(
 }
 
 /// Aggregated `LOCAL_SCAN` (element-wise inclusive scan across ranks).
+///
+/// Element-wise combining distributes over contiguous chunks, so the
+/// aggregate is always splittable and goes through the splittable scan
+/// selector (eligible for the pipelined chain schedule when wide).
 pub fn local_scan_agg<T: Clone + Send + 'static>(
     comm: &Comm,
     values: Vec<T>,
     combine: impl FnMut(T, T) -> T,
 ) -> Vec<T> {
-    comm.scan_inclusive(values, vec_bytes, combine_elementwise(combine))
+    comm.scan_inclusive_splittable(
+        values,
+        split_vec_segments,
+        unsplit_vec_segments,
+        vec_bytes,
+        combine_elementwise(combine),
+    )
 }
 
 /// Aggregated `LOCAL_XSCAN`; `ident` supplies the identity *per element*.
@@ -149,9 +183,11 @@ pub fn local_xscan_agg<T: Clone + Send + 'static>(
     combine: impl FnMut(T, T) -> T,
 ) -> Vec<T> {
     let width = values.len();
-    comm.scan_exclusive(
+    comm.scan_exclusive_splittable(
         values,
         || (0..width).map(|_| ident()).collect(),
+        split_vec_segments,
+        unsplit_vec_segments,
         vec_bytes,
         combine_elementwise(combine),
     )

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::cost::AllreduceAlgorithm;
+use crate::cost::{AllreduceAlgorithm, ScanAlgorithm};
 
 /// Kinds of communication operations the runtime counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,12 +92,14 @@ impl CallKind {
 
 const KINDS: usize = CallKind::ALL.len();
 const ALGOS: usize = AllreduceAlgorithm::ALL.len();
+const SCAN_ALGOS: usize = ScanAlgorithm::ALL.len();
 
 /// Lock-free counters shared by every rank of a runtime.
 #[derive(Debug, Default)]
 pub struct Stats {
     calls: [AtomicU64; KINDS],
     allreduce_algorithms: [AtomicU64; ALGOS],
+    scan_algorithms: [AtomicU64; SCAN_ALGOS],
     messages: AtomicU64,
     bytes: AtomicU64,
     /// Transport-path counters (eager/queued, ring/stash, parks). These
@@ -217,6 +219,13 @@ impl Stats {
         self.allreduce_algorithms[algo as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records which schedule one scan call used (once per rank per
+    /// schedule run, alongside its [`CallKind::Scan`] or
+    /// [`CallKind::Exscan`] record).
+    pub fn record_scan_algorithm(&self, algo: ScanAlgorithm) {
+        self.scan_algorithms[algo as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one wire message of `bytes` bytes.
     pub fn record_message(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
@@ -233,9 +242,14 @@ impl Stats {
         for (slot, counter) in allreduce_algorithms.iter_mut().zip(&self.allreduce_algorithms) {
             *slot = counter.load(Ordering::Relaxed);
         }
+        let mut scan_algorithms = [0u64; SCAN_ALGOS];
+        for (slot, counter) in scan_algorithms.iter_mut().zip(&self.scan_algorithms) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             calls,
             allreduce_algorithms,
+            scan_algorithms,
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             transport: self.transport.snapshot(),
@@ -248,6 +262,7 @@ impl Stats {
 pub struct StatsSnapshot {
     calls: [u64; KINDS],
     allreduce_algorithms: [u64; ALGOS],
+    scan_algorithms: [u64; SCAN_ALGOS],
     /// Total wire messages.
     pub messages: u64,
     /// Total wire bytes.
@@ -265,6 +280,12 @@ impl StatsSnapshot {
     /// Number of allreduce calls that used `algo`.
     pub fn allreduce_algorithm_calls(&self, algo: AllreduceAlgorithm) -> u64 {
         self.allreduce_algorithms[algo as usize]
+    }
+
+    /// Number of scan-shaped schedule runs (inclusive, exclusive, or
+    /// both-at-once) that used `algo`.
+    pub fn scan_algorithm_calls(&self, algo: ScanAlgorithm) -> u64 {
+        self.scan_algorithms[algo as usize]
     }
 
     /// Total calls across all kinds.
@@ -302,9 +323,17 @@ impl StatsSnapshot {
         {
             *slot = now.saturating_sub(*then);
         }
+        let mut scan_algorithms = [0u64; SCAN_ALGOS];
+        for (slot, (now, then)) in scan_algorithms
+            .iter_mut()
+            .zip(self.scan_algorithms.iter().zip(&earlier.scan_algorithms))
+        {
+            *slot = now.saturating_sub(*then);
+        }
         StatsSnapshot {
             calls,
             allreduce_algorithms,
+            scan_algorithms,
             messages: self.messages.saturating_sub(earlier.messages),
             bytes: self.bytes.saturating_sub(earlier.bytes),
             transport: self.transport.since(&earlier.transport),
@@ -381,6 +410,23 @@ mod tests {
         );
         assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::ReduceBroadcast), 1);
         assert_eq!(snap.allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling), 0);
+    }
+
+    #[test]
+    fn scan_algorithm_counters_track_separately() {
+        let stats = Stats::new();
+        stats.record_scan_algorithm(ScanAlgorithm::RecursiveDoubling);
+        stats.record_scan_algorithm(ScanAlgorithm::Binomial);
+        stats.record_scan_algorithm(ScanAlgorithm::Binomial);
+        let before = stats.snapshot();
+        stats.record_scan_algorithm(ScanAlgorithm::PipelinedChain);
+        let snap = stats.snapshot();
+        assert_eq!(snap.scan_algorithm_calls(ScanAlgorithm::RecursiveDoubling), 1);
+        assert_eq!(snap.scan_algorithm_calls(ScanAlgorithm::Binomial), 2);
+        assert_eq!(snap.scan_algorithm_calls(ScanAlgorithm::PipelinedChain), 1);
+        let delta = snap.since(&before);
+        assert_eq!(delta.scan_algorithm_calls(ScanAlgorithm::PipelinedChain), 1);
+        assert_eq!(delta.scan_algorithm_calls(ScanAlgorithm::Binomial), 0);
     }
 
     #[test]

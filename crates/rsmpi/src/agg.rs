@@ -4,6 +4,7 @@
 
 use gv_core::agg::accumulate_rows;
 use gv_core::op::{ReduceScanOp, ScanKind};
+use gv_core::split::{split_vec_segments, unsplit_vec_segments};
 use gv_msgpass::Comm;
 
 /// Accumulates this rank's rows into one state per slot and charges the
@@ -65,6 +66,12 @@ where
 /// Element-wise aggregated global-view scan: output row `i`, slot `j` is
 /// the scan of slot `j` over all earlier rows (earlier ranks' rows
 /// included). Each rank receives outputs for its own rows.
+///
+/// The aggregate state is a `Vec` of per-slot states combined slot-wise,
+/// so contiguous slot ranges combine independently — every aggregated
+/// scan is splittable regardless of the operator, and the cross-rank
+/// prefix goes through the splittable selector entry (eligible for the
+/// pipelined chain schedule when the aggregate is wide).
 pub fn scan_elementwise<Op>(
     comm: &Comm,
     op: &Op,
@@ -77,9 +84,11 @@ where
 {
     let width = rows.first().map_or(0, |r| r.len());
     let states = accumulate_rows_local(comm, op, rows);
-    let mut running = comm.scan_exclusive(
+    let mut running = comm.scan_exclusive_splittable(
         states,
         || (0..width).map(|_| op.ident()).collect(),
+        split_vec_segments,
+        unsplit_vec_segments,
         |s| states_bytes(op, s),
         combine_states(comm, op),
     );
@@ -157,6 +166,29 @@ mod tests {
             let expected = gv_core::seq::scan(&sum::<i64>(), &column, ScanKind::Inclusive);
             let got: Vec<i64> = flat.iter().map(|r| r[slot]).collect();
             assert_eq!(got, expected, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn wide_aggregated_scan_uses_the_pipelined_chain() {
+        use gv_msgpass::ScanAlgorithm;
+        // 16 Ki slots × 8 B of aggregate state: the splittable selector
+        // must route the cross-rank prefix through the pipelined chain.
+        let slots = 16 * 1024usize;
+        let outcome = Runtime::new(8).run(move |comm| {
+            let row: Vec<i64> = (0..slots).map(|j| (comm.rank() * slots + j) as i64).collect();
+            let rows: Vec<&[i64]> = vec![&row];
+            scan_elementwise(comm, &sum::<i64>(), &rows, ScanKind::Inclusive)
+        });
+        assert_eq!(
+            outcome.stats.scan_algorithm_calls(ScanAlgorithm::PipelinedChain),
+            8
+        );
+        // Spot-check the last rank's row against the column oracle.
+        let last = &outcome.results[7][0];
+        for j in [0usize, 1, slots - 1] {
+            let expected: i64 = (0..8).map(|r| (r * slots + j) as i64).sum();
+            assert_eq!(last[j], expected, "slot {j}");
         }
     }
 

@@ -14,6 +14,7 @@
 //! `enumerate` adapter is the `[i in 1..n] (A(i), i)` array expression.
 
 use gv_core::op::{ReduceScanOp, ScanKind};
+use gv_core::split::SplittableState;
 use gv_executor::chunk_ranges;
 use gv_msgpass::Comm;
 
@@ -100,6 +101,23 @@ impl<'c, T> DistVector<'c, T> {
         Op::State: Clone + Send + 'static,
     {
         let out = crate::scan::scan(self.comm, op, &self.local, kind);
+        DistVector {
+            comm: self.comm,
+            local: out,
+            offset: self.offset,
+            global_len: self.global_len,
+        }
+    }
+
+    /// [`scan`](Self::scan) for operators with splittable states: the
+    /// cross-rank prefix is eligible for the pipelined chain schedule,
+    /// which the cost model prefers for large states.
+    pub fn scan_splittable<Op>(&self, op: &Op, kind: ScanKind) -> DistVector<'c, Op::Out>
+    where
+        Op: SplittableState<In = T>,
+        Op::State: Clone + Send + 'static,
+    {
+        let out = crate::scan::scan_splittable(self.comm, op, &self.local, kind);
         DistVector {
             comm: self.comm,
             local: out,
@@ -199,6 +217,21 @@ mod tests {
         .collect();
         for got in outcome.results {
             assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn splittable_scan_matches_plain_scan_on_dist_vectors() {
+        use gv_core::ops::counts::BucketRank;
+        let outcome = Runtime::new(4).run(|comm| {
+            let a = DistVector::generate(comm, 30, |i| (i as usize * 7) % 8);
+            let plain = a.scan(&BucketRank::new(8), ScanKind::Inclusive);
+            let split = a.scan_splittable(&BucketRank::new(8), ScanKind::Inclusive);
+            assert_eq!(split.offset(), plain.offset());
+            (plain.gather_to_all(), split.gather_to_all())
+        });
+        for (plain, split) in outcome.results {
+            assert_eq!(plain, split);
         }
     }
 

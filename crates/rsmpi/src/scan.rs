@@ -16,6 +16,7 @@
 //! inclusive scan" — which is what [`ScanKind::Inclusive`] does.
 
 use gv_core::op::{ReduceScanOp, ScanKind};
+use gv_core::split::SplittableState;
 use gv_msgpass::Comm;
 
 use crate::reduce::{accumulate_local, combining};
@@ -51,14 +52,65 @@ where
     let state = accumulate_local(comm, op, local);
 
     // Line 9: LOCAL_XSCAN of the per-rank states across ranks.
-    let mut running = comm.scan_exclusive(
+    let running = comm.scan_exclusive(
         state,
         || op.ident(),
         |s| op.wire_size(s),
         combining(comm, op),
     );
 
-    // Lines 10–13: rescan the local block from the incoming prefix state.
+    rescan_block(comm, op, local, kind, running)
+}
+
+/// [`scan`] for operators with splittable states: the cross-rank prefix
+/// scan is additionally eligible for the pipelined chain schedule, which
+/// moves the least aggregate traffic of any scan schedule and overlaps
+/// chain latency with bandwidth — the winning choice for large states
+/// under the α–β cost model.
+pub fn scan_splittable<Op>(comm: &Comm, op: &Op, local: &[Op::In], kind: ScanKind) -> Vec<Op::Out>
+where
+    Op: SplittableState,
+    Op::State: Clone + Send + 'static,
+{
+    scan_with_block_total_splittable(comm, op, local, kind).0
+}
+
+/// [`scan_with_block_total`] for [`SplittableState`] operators (see
+/// [`scan_splittable`]).
+pub fn scan_with_block_total_splittable<Op>(
+    comm: &Comm,
+    op: &Op,
+    local: &[Op::In],
+    kind: ScanKind,
+) -> (Vec<Op::Out>, Op::State)
+where
+    Op: SplittableState,
+    Op::State: Clone + Send + 'static,
+{
+    let state = accumulate_local(comm, op, local);
+
+    let running = comm.scan_exclusive_splittable(
+        state,
+        || op.ident(),
+        |s, parts| op.split_state(s, parts),
+        |segments| op.unsplit_state(segments),
+        |s| op.wire_size(s),
+        combining(comm, op),
+    );
+
+    rescan_block(comm, op, local, kind, running)
+}
+
+/// Listing 3 lines 10–13: rescan the local block from the incoming
+/// exclusive-prefix state, returning the block outputs and the block-final
+/// running state.
+fn rescan_block<Op: ReduceScanOp>(
+    comm: &Comm,
+    op: &Op,
+    local: &[Op::In],
+    kind: ScanKind,
+    mut running: Op::State,
+) -> (Vec<Op::Out>, Op::State) {
     let mut out = Vec::with_capacity(local.len());
     for x in local {
         match kind {
@@ -169,6 +221,84 @@ mod tests {
         // Rank q's block-final state is the inclusive prefix through its
         // block; the last rank holds the global total.
         assert_eq!(outcome.results[3], 5050);
+    }
+
+    #[test]
+    fn splittable_scan_matches_plain_and_sequential() {
+        use gv_core::ops::counts::Counts;
+        let particles: Vec<usize> = (0..240).map(|i| (i * 11 + 5) % 16).collect();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let expected = gv_core::seq::scan(&Counts::new(16), &particles, kind);
+            for p in [1usize, 2, 3, 5, 8] {
+                let chunks: Vec<Vec<usize>> = chunk_ranges(particles.len(), p)
+                    .map(|r| particles[r].to_vec())
+                    .collect();
+                let outcome = Runtime::new(p).run(|comm| {
+                    let op = Counts::new(16);
+                    (
+                        scan_splittable(comm, &op, &chunks[comm.rank()], kind),
+                        scan(comm, &op, &chunks[comm.rank()], kind),
+                    )
+                });
+                let mut split = Vec::new();
+                let mut plain = Vec::new();
+                for (s, pl) in outcome.results {
+                    split.extend(s);
+                    plain.extend(pl);
+                }
+                assert_eq!(split, expected, "splittable p={p} kind={kind:?}");
+                assert_eq!(plain, expected, "plain p={p} kind={kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn splittable_scan_on_bucket_rank_matches_paper_answer() {
+        // The §3.1.3 particle ranking again, this time through the
+        // splittable prefix path: BucketRank's count-vector state chunks
+        // contiguously, so the chain schedule is legal for it.
+        let particles: Vec<usize> = [6, 7, 6, 3, 8, 2, 8, 4, 8, 3]
+            .iter()
+            .map(|&o| o - 1)
+            .collect();
+        let chunks: Vec<Vec<usize>> =
+            chunk_ranges(particles.len(), 3).map(|r| particles[r].to_vec()).collect();
+        let outcome = Runtime::new(3).run(|comm| {
+            scan_splittable(comm, &BucketRank::new(8), &chunks[comm.rank()], ScanKind::Inclusive)
+        });
+        let flat: Vec<u64> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, vec![1, 1, 2, 1, 1, 1, 2, 1, 3, 2]);
+    }
+
+    #[test]
+    fn splittable_scan_picks_pipelined_chain_for_large_states() {
+        use gv_msgpass::ScanAlgorithm;
+        // 16 Ki buckets × 8 B = 128 KiB of state: far past the chain
+        // crossover at p = 8, so the selector must route the prefix scan
+        // through the pipelined chain and attribute it in the stats.
+        let buckets = 16 * 1024;
+        let particles: Vec<usize> = (0..512).map(|i| (i * 131) % buckets).collect();
+        let expected =
+            gv_core::seq::scan(&BucketRank::new(buckets), &particles, ScanKind::Exclusive);
+        let chunks: Vec<Vec<usize>> = chunk_ranges(particles.len(), 8)
+            .map(|r| particles[r].to_vec())
+            .collect();
+        let outcome = Runtime::new(8).run(|comm| {
+            scan_splittable(
+                comm,
+                &BucketRank::new(buckets),
+                &chunks[comm.rank()],
+                ScanKind::Exclusive,
+            )
+        });
+        let flat: Vec<u64> = outcome.results.into_iter().flatten().collect();
+        assert_eq!(flat, expected);
+        assert_eq!(
+            outcome.stats.scan_algorithm_calls(ScanAlgorithm::PipelinedChain),
+            8,
+            "every rank should have run the chain schedule once"
+        );
+        assert_eq!(outcome.stats.scan_algorithm_calls(ScanAlgorithm::RecursiveDoubling), 0);
     }
 
     #[test]

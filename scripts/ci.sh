@@ -24,3 +24,8 @@ for bin in fig2_is_verify fig3_mg_zran3 mpi_call_stats \
     echo "smoke: $bin"
     ./target/release/"$bin" > /dev/null
 done
+
+# The scan-schedule ablation grew flags in its rewrite; exercise them so
+# argument parsing and the CSV path stay alive.
+echo "smoke: ablation_scan_algorithm --csv --procs 2,4 --sizes 8,4096"
+./target/release/ablation_scan_algorithm --csv --procs 2,4 --sizes 8,4096 > /dev/null
