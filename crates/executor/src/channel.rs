@@ -188,6 +188,13 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Option<T> {
         self.shared.lock().queue.pop_front()
     }
+
+    /// Whether every sender has been dropped. Queued messages may still
+    /// remain; callers should keep draining [`try_recv`](Self::try_recv)
+    /// after observing disconnection.
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.lock().senders == 0
+    }
 }
 
 impl<T> Clone for Receiver<T> {

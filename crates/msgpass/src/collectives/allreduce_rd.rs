@@ -13,10 +13,177 @@
 
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgorithm;
+use crate::mailbox::ShutdownError;
 use crate::message::{Tag, RESERVED_TAG_BASE};
+use crate::request::{Request, Schedule};
 use crate::stats::CallKind;
 
 const TAG_RD: Tag = RESERVED_TAG_BASE + 0x800;
+
+enum RdPhase {
+    /// Folded-away even rank: fold send issued, waiting for the unfold.
+    AwaitUnfold,
+    /// Odd rank of a folded pair: waiting for the even partner's value.
+    AwaitFold,
+    /// Exchange rounds: the send for the current `mask` is already out,
+    /// waiting for the partner's.
+    Round,
+    Done,
+}
+
+/// Resumable recursive-doubling allreduce: fold to a power of two,
+/// ⌈log₂ p₂⌉ pairwise exchange rounds, unfold. Each round's send goes out
+/// as soon as the previous round's combine lands; the receive is the only
+/// suspension point.
+pub(crate) struct AllreduceRdSchedule<T, B, F> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    acc: Option<T>,
+    /// Survivor id in `0..p2`, `None` for folded-away even ranks.
+    survivor: Option<usize>,
+    p2: usize,
+    rem: usize,
+    mask: usize,
+    phase: RdPhase,
+}
+
+impl<T, B, F> AllreduceRdSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B, combine: F) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        // Fold down to the largest power of two p2: the first `2·rem`
+        // ranks pair up (even donates to odd).
+        let p2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+        let rem = p - p2;
+        let mut schedule = AllreduceRdSchedule {
+            comm,
+            tag: TAG_RD + salt,
+            bytes_of,
+            combine,
+            acc: Some(value),
+            survivor: None,
+            p2,
+            rem,
+            mask: 1,
+            phase: RdPhase::Done,
+        };
+        if p == 1 {
+            return schedule;
+        }
+        if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                schedule.send_acc(r + 1);
+                schedule.phase = RdPhase::AwaitUnfold;
+            } else {
+                schedule.survivor = Some(r / 2);
+                schedule.phase = RdPhase::AwaitFold;
+            }
+        } else {
+            schedule.survivor = Some(r - rem);
+            schedule.start_rounds();
+        }
+        schedule
+    }
+
+    /// Maps a survivor id back to its world rank.
+    fn world_of(&self, s: usize) -> usize {
+        if s < self.rem {
+            2 * s + 1
+        } else {
+            s + self.rem
+        }
+    }
+
+    fn send_acc(&self, dst: usize) {
+        let acc = self.acc.as_ref().expect("partial is live while sends remain");
+        let bytes = (self.bytes_of)(acc);
+        self.comm.send_with_bytes(dst, self.tag, acc.clone(), bytes);
+    }
+
+    /// Issues the send of the current round, or, when the rounds are
+    /// over, transitions into the unfold.
+    fn start_rounds(&mut self) {
+        if self.mask < self.p2 {
+            let s = self.survivor.expect("only survivors run exchange rounds");
+            self.send_acc(self.world_of(s ^ self.mask));
+            self.phase = RdPhase::Round;
+        } else {
+            self.enter_unfold();
+        }
+    }
+
+    /// Odd survivors of the folded prefix return the result to their
+    /// even partners; everyone else is finished.
+    fn enter_unfold(&mut self) {
+        let r = self.comm.rank();
+        if r < 2 * self.rem && r % 2 == 1 {
+            self.send_acc(r - 1);
+        }
+        self.phase = RdPhase::Done;
+    }
+}
+
+impl<T, B, F> Schedule for AllreduceRdSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let r = self.comm.rank();
+        loop {
+            match self.phase {
+                RdPhase::AwaitFold => {
+                    let Some(earlier) = self.comm.try_recv_schedule::<T>(r - 1, self.tag)?
+                    else {
+                        return Ok(None);
+                    };
+                    let acc = self.acc.take().expect("partial present before the fold");
+                    self.acc = Some((self.combine)(earlier, acc));
+                    self.start_rounds();
+                }
+                RdPhase::Round => {
+                    let s = self.survivor.expect("only survivors run exchange rounds");
+                    let partner = self.world_of(s ^ self.mask);
+                    let Some(theirs) = self.comm.try_recv_schedule::<T>(partner, self.tag)?
+                    else {
+                        return Ok(None);
+                    };
+                    let acc = self.acc.take().expect("partial present each round");
+                    // Lower-block partial precedes the higher-block one.
+                    self.acc = Some(if s & self.mask == 0 {
+                        (self.combine)(acc, theirs)
+                    } else {
+                        (self.combine)(theirs, acc)
+                    });
+                    self.mask <<= 1;
+                    self.start_rounds();
+                }
+                RdPhase::AwaitUnfold => {
+                    let Some(result) = self.comm.try_recv_schedule::<T>(r + 1, self.tag)?
+                    else {
+                        return Ok(None);
+                    };
+                    self.acc = Some(result);
+                    self.phase = RdPhase::Done;
+                }
+                RdPhase::Done => {
+                    return Ok(Some(self.acc.take().expect("result ready exactly once")));
+                }
+            }
+        }
+    }
+}
 
 impl Comm {
     /// Allreduce by recursive doubling. Semantically identical to
@@ -27,70 +194,36 @@ impl Comm {
         &self,
         value: T,
         bytes_of: impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
+        combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Allreduce);
         self.stats()
             .record_allreduce_algorithm(AllreduceAlgorithm::RecursiveDoubling);
-        let _guard = self.enter_collective();
-        let p = self.size();
-        let r = self.rank();
-        if p == 1 {
-            return value;
-        }
-
-        // Fold down to the largest power of two p2: the first `2·rem`
-        // ranks pair up (even donates to odd).
-        let p2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
-        let rem = p - p2;
-        let mut acc = value;
-
-        // Survivor id in 0..p2, or None for folded-away even ranks.
-        let survivor: Option<usize> = if r < 2 * rem {
-            if r.is_multiple_of(2) {
-                let bytes = bytes_of(&acc);
-                self.send_with_bytes(r + 1, TAG_RD, acc.clone(), bytes);
-                None
-            } else {
-                let earlier: T = self.recv(r - 1, TAG_RD);
-                acc = combine(earlier, acc);
-                Some(r / 2)
-            }
-        } else {
-            Some(r - rem)
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllreduceRdSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
         };
+        crate::request::drive(self, schedule)
+    }
 
-        // Map a survivor id back to its world rank.
-        let world_of = |s: usize| if s < rem { 2 * s + 1 } else { s + rem };
-
-        if let Some(s) = survivor {
-            let mut mask = 1usize;
-            while mask < p2 {
-                let partner = world_of(s ^ mask);
-                let bytes = bytes_of(&acc);
-                self.send_with_bytes(partner, TAG_RD, acc.clone(), bytes);
-                let theirs: T = self.recv(partner, TAG_RD);
-                // Lower-block partial precedes the higher-block one.
-                acc = if s & mask == 0 {
-                    combine(acc, theirs)
-                } else {
-                    combine(theirs, acc)
-                };
-                mask <<= 1;
-            }
-        }
-
-        // Unfold: odd survivors of the folded prefix return the result to
-        // their even partners.
-        if r < 2 * rem {
-            if r % 2 == 1 {
-                let bytes = bytes_of(&acc);
-                self.send_with_bytes(r - 1, TAG_RD, acc.clone(), bytes);
-            } else {
-                acc = self.recv(r + 1, TAG_RD);
-            }
-        }
-        acc
+    /// Non-blocking recursive-doubling allreduce, bypassing the selector
+    /// (the selector-routed variant is [`iallreduce`](Comm::iallreduce)).
+    pub fn iallreduce_recursive_doubling<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::RecursiveDoubling);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllreduceRdSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+        };
+        Request::register(self, schedule)
     }
 }
 
@@ -151,5 +284,36 @@ mod tests {
         let t_rd = time(true);
         let t_rb = time(false);
         assert!(t_rd < t_rb, "rd={t_rd} reduce+bcast={t_rb}");
+    }
+
+    #[test]
+    fn concurrent_requests_on_one_comm_do_not_cross_match() {
+        // Two in-flight recursive-doubling allreduces whose waits are
+        // issued in opposite order on different ranks: tag salting must
+        // keep their traffic apart.
+        for p in [2usize, 3, 5, 8] {
+            let outcome = Runtime::new(p).run(|comm| {
+                let a = comm.iallreduce_recursive_doubling(
+                    comm.rank() as u64,
+                    |_| 8,
+                    |x, y| x + y,
+                );
+                let b = comm.iallreduce_recursive_doubling(
+                    comm.rank() as u64 * 100,
+                    |_| 8,
+                    |x, y| x + y,
+                );
+                let (mut a, mut b) = (a, b);
+                if comm.rank() % 2 == 0 {
+                    (a.wait().unwrap(), b.wait().unwrap())
+                } else {
+                    let vb = b.wait().unwrap();
+                    let va = a.wait().unwrap();
+                    (va, vb)
+                }
+            });
+            let sum: u64 = (0..p as u64).sum();
+            assert_eq!(outcome.results, vec![(sum, sum * 100); p], "p={p}");
+        }
     }
 }

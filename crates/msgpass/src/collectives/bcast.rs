@@ -1,16 +1,116 @@
-//! Binomial-tree broadcast.
+//! Binomial-tree broadcast, as a resumable schedule.
 
 use super::TAG_BCAST;
 use crate::comm::Comm;
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::{Request, Schedule};
 use crate::stats::CallKind;
+
+/// Resumable binomial broadcast: construction issues the root's (or any
+/// already-satisfied rank's) fan-out sends; each poll waits for the
+/// parent's message, then forwards to this node's children.
+pub(crate) struct BcastSchedule<T, B> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    root: usize,
+    vrank: usize,
+    /// Phase 1: the bit on which this node receives from its parent.
+    /// Phase 2 walks it back down through the children.
+    mask: usize,
+    val: Option<T>,
+    finished: bool,
+}
+
+impl<T, B> BcastSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    /// `value` is `Some` at the root, `None` elsewhere. `salt` is the
+    /// collective-sequence tag salt (see `Comm::next_collective_salt`).
+    pub(crate) fn new(comm: Comm, root: usize, value: Option<T>, salt: Tag, bytes_of: B) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        assert!(root < p, "bcast root {root} out of range");
+        let vrank = (r + p - root) % p;
+
+        // Phase 1 position: the root raises the mask over the whole tree;
+        // everyone else stops at the bit their parent reaches them on.
+        let mut mask = 1usize;
+        if vrank == 0 {
+            while mask < p {
+                mask <<= 1;
+            }
+        } else {
+            while mask < p && vrank & mask == 0 {
+                mask <<= 1;
+            }
+        }
+        let mut schedule = BcastSchedule {
+            comm,
+            tag: TAG_BCAST + salt,
+            bytes_of,
+            root,
+            vrank,
+            mask,
+            val: value,
+            finished: false,
+        };
+        if vrank == 0 {
+            assert!(schedule.val.is_some(), "bcast root must supply a value");
+            schedule.fanout();
+        }
+        schedule
+    }
+
+    /// Phase 2: forward to children (descending sub-tree sizes).
+    fn fanout(&mut self) {
+        let p = self.comm.size();
+        let val = self.val.take().expect("bcast value must be set before fanout");
+        self.mask >>= 1;
+        while self.mask > 0 {
+            if self.vrank + self.mask < p {
+                let child = ((self.vrank + self.mask) + self.root) % p;
+                let bytes = (self.bytes_of)(&val);
+                self.comm.send_with_bytes(child, self.tag, val.clone(), bytes);
+            }
+            self.mask >>= 1;
+        }
+        self.val = Some(val);
+        self.finished = true;
+    }
+}
+
+impl<T, B> Schedule for BcastSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        if !self.finished {
+            let parent = ((self.vrank - self.mask) + self.root) % self.comm.size();
+            let Some(received) = self.comm.try_recv_schedule::<T>(parent, self.tag)? else {
+                return Ok(None);
+            };
+            self.val = Some(received);
+            self.fanout();
+        }
+        Ok(self.val.take())
+    }
+}
 
 impl Comm {
     /// Broadcasts from `root`. The root passes `Some(value)`, every other
     /// rank passes `None`; all ranks return the value.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
         self.stats().record_call(CallKind::Bcast);
-        let _guard = self.enter_collective();
-        self.bcast_impl(root, value, |_| std::mem::size_of::<T>())
+        let salt = self.next_collective_salt();
+        self.bcast_impl(root, value, salt, |_| std::mem::size_of::<T>())
     }
 
     /// Broadcast of a vector, modeling `len · size_of::<T>()` wire bytes.
@@ -20,60 +120,42 @@ impl Comm {
         value: Option<Vec<T>>,
     ) -> Vec<T> {
         self.stats().record_call(CallKind::Bcast);
-        let _guard = self.enter_collective();
-        self.bcast_impl(root, value, |v: &Vec<T>| {
+        let salt = self.next_collective_salt();
+        self.bcast_impl(root, value, salt, |v: &Vec<T>| {
             v.len() * std::mem::size_of::<T>()
         })
     }
 
+    /// Non-blocking broadcast: initiates the schedule and returns its
+    /// [`Request`]. The root passes `Some(value)`; every rank's request
+    /// resolves to the broadcast value.
+    pub fn ibcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> Request<T> {
+        self.stats().record_call(CallKind::Bcast);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            BcastSchedule::new(self.clone_handle(), root, value, salt, |_| {
+                std::mem::size_of::<T>()
+            })
+        };
+        Request::register(self, schedule)
+    }
+
     /// Binomial broadcast without call accounting, shared by the public
-    /// entry points and by composite collectives (allgather, allreduce).
+    /// entry points and by composite collectives (allgather, allreduce):
+    /// the broadcast schedule, driven to completion on the stack.
     pub(crate) fn bcast_impl<T: Clone + Send + 'static>(
         &self,
         root: usize,
         value: Option<T>,
+        salt: Tag,
         bytes_of: impl Fn(&T) -> usize,
     ) -> T {
-        let p = self.size();
-        let r = self.rank();
-        assert!(root < p, "bcast root {root} out of range");
-        let vrank = (r + p - root) % p;
-
-        // Phase 1: receive from the parent (the rank that differs in this
-        // node's lowest set bit).
-        let mut mask = 1usize;
-        let mut val = if vrank == 0 {
-            Some(value.expect("bcast root must supply a value"))
-        } else {
-            value // ignored content-wise; should be None
+        let schedule = {
+            let _guard = self.enter_collective();
+            BcastSchedule::new(self.clone_handle(), root, value, salt, bytes_of)
         };
-        if vrank != 0 {
-            while mask < p {
-                if vrank & mask != 0 {
-                    let parent = ((vrank - mask) + root) % p;
-                    val = Some(self.recv(parent, TAG_BCAST));
-                    break;
-                }
-                mask <<= 1;
-            }
-        } else {
-            while mask < p {
-                mask <<= 1;
-            }
-        }
-
-        // Phase 2: forward to children (descending sub-tree sizes).
-        let val = val.expect("bcast value must be set after phase 1");
-        mask >>= 1;
-        while mask > 0 {
-            if vrank + mask < p {
-                let child = ((vrank + mask) + root) % p;
-                let bytes = bytes_of(&val);
-                self.send_with_bytes(child, TAG_BCAST, val.clone(), bytes);
-            }
-            mask >>= 1;
-        }
-        val
+        crate::request::drive(self, schedule)
     }
 }
 
@@ -133,5 +215,18 @@ mod tests {
         // root's serial send overhead of its 3 children.
         assert!(deepest >= 3.0 * alpha, "deepest={deepest}");
         assert!(deepest <= 5.5 * alpha, "deepest={deepest}");
+    }
+
+    #[test]
+    fn ibcast_overlaps_with_later_traffic() {
+        // Initiate the broadcast, run an unrelated collective, then wait:
+        // the request must still deliver the broadcast value.
+        let outcome = Runtime::new(6).run(|comm| {
+            let value = (comm.rank() == 1).then_some(comm.rank() as u64 + 41);
+            let mut req = comm.ibcast(1, value);
+            let sum = comm.allreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
+            (req.wait().unwrap(), sum)
+        });
+        assert_eq!(outcome.results, vec![(42, 6); 6]);
     }
 }

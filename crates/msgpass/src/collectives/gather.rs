@@ -17,9 +17,10 @@ impl Comm {
     /// vector to every rank.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         self.stats().record_call(CallKind::Allgather);
+        let salt = self.next_collective_salt();
         let _guard = self.enter_collective();
         let gathered = self.gather_impl(0, value);
-        self.bcast_impl(0, gathered, |v: &Vec<T>| {
+        self.bcast_impl(0, gathered, salt, |v: &Vec<T>| {
             v.len() * std::mem::size_of::<T>()
         })
     }

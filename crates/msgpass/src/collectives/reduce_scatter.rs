@@ -14,11 +14,285 @@
 //! caller must be able to split its state into `p` independently
 //! combinable segments (`gv_core::split::SplittableState`). The selection
 //! policy in [`super::select`] enforces both.
+//!
+//! Both rings are resumable schedules: each step's send goes out with the
+//! previous step's combine, and the left-neighbor receive is the only
+//! suspension point.
 
 use super::{TAG_ALLGATHER_RING, TAG_REDUCE_SCATTER};
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgorithm;
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::{Request, Schedule};
 use crate::stats::CallKind;
+
+/// Resumable ring reduce-scatter. Step `s ∈ 1..p`: rank `r` sends its
+/// partial of segment `(r − s) mod p` to the right neighbor and receives
+/// the partial of segment `(r − s − 1) mod p` from the left, combining it
+/// with its own copy. After `p − 1` steps the partial that stops at rank
+/// `r` is segment `r`, combined over all ranks.
+pub(crate) struct ReduceScatterRingSchedule<T, B, F> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    slots: Vec<Option<T>>,
+    outgoing: Option<T>,
+    step: usize,
+}
+
+impl<T, B, F> ReduceScatterRingSchedule<T, B, F>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    /// # Panics
+    /// Panics unless `segments.len() == comm.size()`.
+    pub(crate) fn new(comm: Comm, segments: Vec<T>, salt: Tag, bytes_of: B, combine: F) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        assert_eq!(
+            segments.len(),
+            p,
+            "reduce_scatter_block needs exactly one segment per rank"
+        );
+        let slots: Vec<Option<T>> = segments.into_iter().map(Some).collect();
+        let mut schedule = ReduceScatterRingSchedule {
+            comm,
+            tag: TAG_REDUCE_SCATTER + salt,
+            bytes_of,
+            combine,
+            slots,
+            outgoing: None,
+            step: 1,
+        };
+        if p == 1 {
+            schedule.outgoing = Some(schedule.slots[0].take().expect("one segment at p=1"));
+            return schedule;
+        }
+        let left = (r + p - 1) % p;
+        schedule.outgoing = Some(schedule.slots[left].take().expect("segments are distinct"));
+        schedule.send_outgoing();
+        schedule
+    }
+
+    /// Moves the current outgoing partial onto the wire (`T` need not be
+    /// `Clone`; the next combine refills it).
+    fn send_outgoing(&mut self) {
+        let right = (self.comm.rank() + 1) % self.comm.size();
+        let outgoing = self.outgoing.take().expect("outgoing partial is live");
+        let bytes = (self.bytes_of)(&outgoing);
+        self.comm.send_with_bytes(right, self.tag, outgoing, bytes);
+    }
+
+    fn poll_steps(&mut self) -> Result<bool, ShutdownError> {
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let left = (r + p - 1) % p;
+        while self.step < p {
+            let Some(incoming) = self.comm.try_recv_schedule::<T>(left, self.tag)? else {
+                return Ok(false);
+            };
+            let own = self.slots[(r + p - 1 - self.step) % p]
+                .take()
+                .expect("each slot taken once");
+            self.outgoing = Some((self.combine)(incoming, own));
+            self.step += 1;
+            if self.step < p {
+                self.send_outgoing();
+            }
+        }
+        debug_assert!(self.slots.iter().all(Option::is_none));
+        Ok(true)
+    }
+}
+
+impl<T, B, F> Schedule for ReduceScatterRingSchedule<T, B, F>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        if self.comm.size() > 1 && !self.poll_steps()? {
+            return Ok(None);
+        }
+        Ok(Some(self.outgoing.take().expect("result ready exactly once")))
+    }
+}
+
+/// Resumable ring allgather. Step `s ∈ 1..p`: forward the value received
+/// last step (initially your own) to the right, receive rank
+/// `(r − s) mod p`'s value from the left.
+pub(crate) struct AllgatherRingSchedule<T, B> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    slots: Vec<Option<T>>,
+    travelling: Option<T>,
+    step: usize,
+}
+
+impl<T, B> AllgatherRingSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        let travelling = value.clone();
+        slots[r] = Some(value);
+        let schedule = AllgatherRingSchedule {
+            comm,
+            tag: TAG_ALLGATHER_RING + salt,
+            bytes_of,
+            slots,
+            travelling: Some(travelling),
+            step: 1,
+        };
+        if p > 1 {
+            schedule.send_travelling();
+        }
+        schedule
+    }
+
+    fn send_travelling(&self) {
+        let right = (self.comm.rank() + 1) % self.comm.size();
+        let travelling = self.travelling.as_ref().expect("travelling value is live");
+        let bytes = (self.bytes_of)(travelling);
+        self.comm
+            .send_with_bytes(right, self.tag, travelling.clone(), bytes);
+    }
+}
+
+impl<T, B> Schedule for AllgatherRingSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    type Output = Vec<T>;
+
+    fn poll(&mut self) -> Result<Option<Vec<T>>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let left = (r + p - 1) % p;
+        while self.step < p {
+            let Some(incoming) = self.comm.try_recv_schedule::<T>(left, self.tag)? else {
+                return Ok(None);
+            };
+            self.slots[(r + p - self.step) % p] = Some(incoming.clone());
+            self.travelling = Some(incoming);
+            self.step += 1;
+            if self.step < p {
+                self.send_travelling();
+            }
+        }
+        Ok(Some(
+            self.slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("every slot filled after p-1 steps"))
+                .collect(),
+        ))
+    }
+}
+
+enum RsagPhase<T, B, F> {
+    ReduceScatter(ReduceScatterRingSchedule<T, B, F>),
+    Allgather(AllgatherRingSchedule<T, B>),
+    /// `p == 1`: the value passes through untouched.
+    Trivial(Option<T>),
+}
+
+/// Allreduce as ring reduce-scatter followed by ring allgather, plus the
+/// caller's local `split`/`unsplit`. Both rings share the collective's
+/// tag salt; their distinct base tags keep the phases apart.
+pub(crate) struct AllreduceRsagSchedule<T, B, F, U> {
+    comm: Comm,
+    salt: Tag,
+    bytes_of: B,
+    unsplit: Option<U>,
+    phase: RsagPhase<T, B, F>,
+}
+
+impl<T, B, F, U> AllreduceRsagSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize + Clone,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    pub(crate) fn new(
+        comm: Comm,
+        value: T,
+        salt: Tag,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: U,
+        bytes_of: B,
+        combine: F,
+    ) -> Self {
+        let p = comm.size();
+        let phase = if p == 1 {
+            RsagPhase::Trivial(Some(value))
+        } else {
+            RsagPhase::ReduceScatter(ReduceScatterRingSchedule::new(
+                comm.clone_handle(),
+                split(value, p),
+                salt,
+                bytes_of.clone(),
+                combine,
+            ))
+        };
+        AllreduceRsagSchedule {
+            comm,
+            salt,
+            bytes_of,
+            unsplit: Some(unsplit),
+            phase,
+        }
+    }
+}
+
+impl<T, B, F, U> Schedule for AllreduceRsagSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize + Clone,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        if let RsagPhase::Trivial(value) = &mut self.phase {
+            return Ok(Some(value.take().expect("result ready exactly once")));
+        }
+        if let RsagPhase::ReduceScatter(rs) = &mut self.phase {
+            let Some(own) = rs.poll()? else { return Ok(None) };
+            self.phase = RsagPhase::Allgather(AllgatherRingSchedule::new(
+                self.comm.clone_handle(),
+                own,
+                self.salt,
+                self.bytes_of.clone(),
+            ));
+        }
+        match &mut self.phase {
+            RsagPhase::Allgather(ag) => {
+                let Some(all) = ag.poll()? else { return Ok(None) };
+                let unsplit = self.unsplit.take().expect("unsplit runs exactly once");
+                Ok(Some(unsplit(all)))
+            }
+            _ => unreachable!("earlier phases handled above"),
+        }
+    }
+}
 
 impl Comm {
     /// Reduce-scatter with one block per rank: every rank contributes
@@ -36,8 +310,28 @@ impl Comm {
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::ReduceScatter);
-        let _guard = self.enter_collective();
-        self.reduce_scatter_block_impl(segments, &bytes_of, combine)
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ReduceScatterRingSchedule::new(self.clone_handle(), segments, salt, bytes_of, combine)
+        };
+        crate::request::drive(self, schedule)
+    }
+
+    /// Non-blocking [`reduce_scatter_block`](Self::reduce_scatter_block).
+    pub fn ireduce_scatter_block<T: Send + 'static>(
+        &self,
+        segments: Vec<T>,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::ReduceScatter);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ReduceScatterRingSchedule::new(self.clone_handle(), segments, salt, bytes_of, combine)
+        };
+        Request::register(self, schedule)
     }
 
     /// Allgather over a ring: `p − 1` neighbor steps instead of the
@@ -49,8 +343,12 @@ impl Comm {
         bytes_of: impl Fn(&T) -> usize,
     ) -> Vec<T> {
         self.stats().record_call(CallKind::Allgather);
-        let _guard = self.enter_collective();
-        self.allgather_ring_impl(value, &bytes_of)
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllgatherRingSchedule::new(self.clone_handle(), value, salt, bytes_of)
+        };
+        crate::request::drive(self, schedule)
     }
 
     /// Allreduce by reduce-scatter + allgather. The caller supplies the
@@ -66,90 +364,26 @@ impl Comm {
         value: T,
         split: impl FnOnce(T, usize) -> Vec<T>,
         unsplit: impl FnOnce(Vec<T>) -> T,
-        bytes_of: impl Fn(&T) -> usize,
+        bytes_of: impl Fn(&T) -> usize + Clone,
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Allreduce);
         self.stats()
             .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
-        let _guard = self.enter_collective();
-        let p = self.size();
-        if p == 1 {
-            return value;
-        }
-        let segments = split(value, p);
-        let own = self.reduce_scatter_block_impl(segments, &bytes_of, combine);
-        let all = self.allgather_ring_impl(own, &bytes_of);
-        unsplit(all)
-    }
-
-    /// Ring reduce-scatter without call accounting.
-    ///
-    /// Step `s ∈ 1..p`: rank `r` sends its partial of segment
-    /// `(r − s) mod p` to the right neighbor and receives the partial of
-    /// segment `(r − s − 1) mod p` from the left, combining it with its
-    /// own copy. After `p − 1` steps the partial that stops at rank `r`
-    /// is segment `r`, combined over all ranks.
-    pub(crate) fn reduce_scatter_block_impl<T: Send + 'static>(
-        &self,
-        segments: Vec<T>,
-        bytes_of: &impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
-    ) -> T {
-        let p = self.size();
-        let r = self.rank();
-        assert_eq!(
-            segments.len(),
-            p,
-            "reduce_scatter_block needs exactly one segment per rank"
-        );
-        let mut slots: Vec<Option<T>> = segments.into_iter().map(Some).collect();
-        if p == 1 {
-            return slots[0].take().expect("one segment at p=1");
-        }
-        let right = (r + 1) % p;
-        let left = (r + p - 1) % p;
-        let mut outgoing = slots[left].take().expect("segments are distinct");
-        for s in 1..p {
-            let bytes = bytes_of(&outgoing);
-            self.send_with_bytes(right, TAG_REDUCE_SCATTER, outgoing, bytes);
-            let incoming: T = self.recv(left, TAG_REDUCE_SCATTER);
-            let own = slots[(r + p - 1 - s) % p].take().expect("each slot taken once");
-            outgoing = combine(incoming, own);
-        }
-        debug_assert!(slots.iter().all(Option::is_none));
-        outgoing
-    }
-
-    /// Ring allgather without call accounting. Step `s ∈ 1..p`: forward
-    /// the value received last step (initially your own) to the right,
-    /// receive rank `(r − s) mod p`'s value from the left.
-    pub(crate) fn allgather_ring_impl<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        bytes_of: &impl Fn(&T) -> usize,
-    ) -> Vec<T> {
-        let p = self.size();
-        let r = self.rank();
-        if p == 1 {
-            return vec![value];
-        }
-        let right = (r + 1) % p;
-        let left = (r + p - 1) % p;
-        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        let mut travelling = value.clone();
-        slots[r] = Some(value);
-        for s in 1..p {
-            let bytes = bytes_of(&travelling);
-            self.send_with_bytes(right, TAG_ALLGATHER_RING, travelling, bytes);
-            let incoming: T = self.recv(left, TAG_ALLGATHER_RING);
-            slots[(r + p - s) % p] = Some(incoming.clone());
-            travelling = incoming;
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every slot filled after p-1 steps"))
-            .collect()
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllreduceRsagSchedule::new(
+                self.clone_handle(),
+                value,
+                salt,
+                split,
+                unsplit,
+                bytes_of,
+                combine,
+            )
+        };
+        crate::request::drive(self, schedule)
     }
 }
 
@@ -170,6 +404,22 @@ mod tests {
             for (rank, got) in outcome.results.into_iter().enumerate() {
                 let expected: u64 =
                     (0..p as u64).map(|r| r * 100 + rank as u64).sum();
+                assert_eq!(got, expected, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn ireduce_scatter_matches_blocking() {
+        for p in [1usize, 2, 4, 7] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let r = comm.rank() as u64;
+                let segments: Vec<u64> = (0..p as u64).map(|j| r * 100 + j).collect();
+                let mut req = comm.ireduce_scatter_block(segments, |_| 8, |a, b| a + b);
+                req.wait().unwrap()
+            });
+            for (rank, got) in outcome.results.into_iter().enumerate() {
+                let expected: u64 = (0..p as u64).map(|r| r * 100 + rank as u64).sum();
                 assert_eq!(got, expected, "p={p} rank={rank}");
             }
         }

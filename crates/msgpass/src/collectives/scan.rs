@@ -18,12 +18,201 @@
 //! ([`scan_inclusive`](Comm::scan_inclusive) and friends, in
 //! `collectives/select.rs`) may instead pick the work-efficient binomial
 //! sweep (`scan_binomial.rs`) or, for splittable states, the pipelined
-//! chain (`scan_chain.rs`).
+//! chain (`scan_chain.rs`). All three are resumable schedules; this
+//! module also keeps the O(p) linear chain as the ablation baseline.
 
 use super::TAG_SCAN;
 use crate::comm::Comm;
 use crate::cost::ScanAlgorithm;
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::Schedule;
 use crate::stats::CallKind;
+
+/// Resumable shifted recursive-doubling scan. `need_exclusive` /
+/// `need_inclusive` say which results the caller will consume; they gate
+/// only local clones and combines — the message schedule (count, bytes,
+/// order) is identical in every mode, so virtual clocks and traffic
+/// accounting cannot depend on the mode. Output is
+/// `(exclusive, inclusive)` with the unrequested half `None` (and the
+/// exclusive half always `None` on rank 0).
+pub(crate) struct ScanRdSchedule<T, B, F> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    need_exclusive: bool,
+    need_inclusive: bool,
+    inclusive: Option<T>,
+    exclusive: Option<T>,
+    dist: usize,
+    /// This round's send already went out (sends lead the round's
+    /// receive, and must not repeat when the receive suspends).
+    sent: bool,
+}
+
+impl<T, B, F> ScanRdSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    pub(crate) fn new(
+        comm: Comm,
+        value: T,
+        salt: Tag,
+        bytes_of: B,
+        combine: F,
+        need_exclusive: bool,
+        need_inclusive: bool,
+    ) -> Self {
+        debug_assert!(need_exclusive || need_inclusive);
+        ScanRdSchedule {
+            comm,
+            tag: TAG_SCAN + salt,
+            bytes_of,
+            combine,
+            need_exclusive,
+            need_inclusive,
+            inclusive: Some(value),
+            exclusive: None,
+            dist: 1,
+            sent: false,
+        }
+    }
+}
+
+impl<T, B, F> Schedule for ScanRdSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = (Option<T>, Option<T>);
+
+    fn poll(&mut self) -> Result<Option<(Option<T>, Option<T>)>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        while self.dist < p {
+            let dist = self.dist;
+            if !self.sent {
+                if r + dist < p {
+                    let bytes = (self.bytes_of)(
+                        self.inclusive.as_ref().expect("partial live while sends remain"),
+                    );
+                    // The partial is dead after this send iff the caller
+                    // does not want the inclusive result, this rank
+                    // receives no more (r < dist), and this is its last
+                    // send (r + 2d ≥ p): move it onto the wire instead of
+                    // cloning.
+                    let payload = if !self.need_inclusive && r < dist && r + 2 * dist >= p {
+                        self.inclusive.take().unwrap()
+                    } else {
+                        self.inclusive.as_ref().unwrap().clone()
+                    };
+                    self.comm.send_with_bytes(r + dist, self.tag, payload, bytes);
+                }
+                self.sent = true;
+            }
+            if r >= dist {
+                let Some(earlier) = self.comm.try_recv_schedule::<T>(r - dist, self.tag)?
+                else {
+                    return Ok(None);
+                };
+                // The inclusive partial stays live only while it has a
+                // consumer left: a later send (r + 2d < p) or the caller.
+                // (`r + 2d < p` also covers every later receive's
+                // combine.) Once dead, `earlier` moves into the exclusive
+                // accumulator instead of being cloned for both halves.
+                let inclusive_live = self.need_inclusive || r + 2 * dist < p;
+                match (self.need_exclusive, inclusive_live) {
+                    (true, true) => {
+                        self.exclusive = Some(match self.exclusive.take() {
+                            None => earlier.clone(),
+                            Some(e) => (self.combine)(earlier.clone(), e),
+                        });
+                        self.inclusive =
+                            Some((self.combine)(earlier, self.inclusive.take().unwrap()));
+                    }
+                    (true, false) => {
+                        self.exclusive = Some(match self.exclusive.take() {
+                            None => earlier,
+                            Some(e) => (self.combine)(earlier, e),
+                        });
+                        self.inclusive = None;
+                    }
+                    (false, true) => {
+                        self.inclusive =
+                            Some((self.combine)(earlier, self.inclusive.take().unwrap()));
+                    }
+                    // Unreachable given the constructor's debug_assert;
+                    // drop `earlier`.
+                    (false, false) => {}
+                }
+            }
+            self.dist <<= 1;
+            self.sent = false;
+        }
+        Ok(Some((self.exclusive.take(), self.inclusive.take())))
+    }
+}
+
+/// Resumable linear-chain inclusive scan: rank `r` waits for rank `r−1`'s
+/// prefix, combines, and forwards — O(p) sequential hops. The ablation
+/// baseline behind [`Comm::scan_inclusive_linear`].
+pub(crate) struct ScanLinearSchedule<T, B, F> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    acc: Option<T>,
+}
+
+impl<T, B, F> ScanLinearSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B, combine: F) -> Self {
+        ScanLinearSchedule {
+            comm,
+            tag: TAG_SCAN + salt,
+            bytes_of,
+            combine,
+            acc: Some(value),
+        }
+    }
+}
+
+impl<T, B, F> Schedule for ScanLinearSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        if r > 0 {
+            let Some(earlier) = self.comm.try_recv_schedule::<T>(r - 1, self.tag)? else {
+                return Ok(None);
+            };
+            let acc = self.acc.take().expect("value present until combined");
+            self.acc = Some((self.combine)(earlier, acc));
+        }
+        let acc = self.acc.take().expect("result ready exactly once");
+        if r + 1 < p {
+            let bytes = (self.bytes_of)(&acc);
+            self.comm.send_with_bytes(r + 1, self.tag, acc.clone(), bytes);
+        }
+        Ok(Some(acc))
+    }
+}
 
 impl Comm {
     /// Both scans by the shifted recursive-doubling schedule, bypassing
@@ -38,8 +227,12 @@ impl Comm {
         self.stats().record_call(CallKind::Scan);
         self.stats()
             .record_scan_algorithm(ScanAlgorithm::RecursiveDoubling);
-        let _guard = self.enter_collective();
-        let (ex, inc) = self.scan_rd_impl(value, &bytes_of, combine, true, true);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ScanRdSchedule::new(self.clone_handle(), value, salt, bytes_of, combine, true, true)
+        };
+        let (ex, inc) = crate::request::drive(self, schedule);
         (ex, inc.expect("inclusive result was requested"))
     }
 
@@ -56,92 +249,15 @@ impl Comm {
         &self,
         value: T,
         bytes_of: impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
+        combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Scan);
-        let _guard = self.enter_collective();
-        let p = self.size();
-        let r = self.rank();
-        let mut acc = value;
-        if r > 0 {
-            let earlier: T = self.recv(r - 1, TAG_SCAN);
-            acc = combine(earlier, acc);
-        }
-        if r + 1 < p {
-            let bytes = bytes_of(&acc);
-            self.send_with_bytes(r + 1, TAG_SCAN, acc.clone(), bytes);
-        }
-        acc
-    }
-
-    /// The shifted recursive-doubling rounds. `need_exclusive` /
-    /// `need_inclusive` say which results the caller will consume; they
-    /// gate only local clones and combines — the message schedule (count,
-    /// bytes, order) is identical in every mode, so virtual clocks and
-    /// traffic accounting cannot depend on the mode. The corresponding
-    /// result is `None` when not requested (and the exclusive result is
-    /// always `None` on rank 0).
-    pub(crate) fn scan_rd_impl<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        bytes_of: &impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
-        need_exclusive: bool,
-        need_inclusive: bool,
-    ) -> (Option<T>, Option<T>) {
-        debug_assert!(need_exclusive || need_inclusive);
-        let p = self.size();
-        let r = self.rank();
-        let mut inclusive = Some(value);
-        let mut exclusive: Option<T> = None;
-        let mut dist = 1usize;
-        while dist < p {
-            if r + dist < p {
-                let bytes = bytes_of(inclusive.as_ref().expect("partial live while sends remain"));
-                // The partial is dead after this send iff the caller does
-                // not want the inclusive result, this rank receives no
-                // more (r < dist), and this is its last send
-                // (r + 2d ≥ p): move it onto the wire instead of cloning.
-                let payload = if !need_inclusive && r < dist && r + 2 * dist >= p {
-                    inclusive.take().unwrap()
-                } else {
-                    inclusive.as_ref().unwrap().clone()
-                };
-                self.send_with_bytes(r + dist, TAG_SCAN, payload, bytes);
-            }
-            if r >= dist {
-                let earlier: T = self.recv(r - dist, TAG_SCAN);
-                // The inclusive partial stays live only while it has a
-                // consumer left: a later send (r + 2d < p) or the caller.
-                // (`r + 2d < p` also covers every later receive's
-                // combine.) Once dead, `earlier` moves into the exclusive
-                // accumulator instead of being cloned for both halves.
-                let inclusive_live = need_inclusive || r + 2 * dist < p;
-                match (need_exclusive, inclusive_live) {
-                    (true, true) => {
-                        exclusive = Some(match exclusive.take() {
-                            None => earlier.clone(),
-                            Some(e) => combine(earlier.clone(), e),
-                        });
-                        inclusive = Some(combine(earlier, inclusive.take().unwrap()));
-                    }
-                    (true, false) => {
-                        exclusive = Some(match exclusive.take() {
-                            None => earlier,
-                            Some(e) => combine(earlier, e),
-                        });
-                        inclusive = None;
-                    }
-                    (false, true) => {
-                        inclusive = Some(combine(earlier, inclusive.take().unwrap()));
-                    }
-                    // Unreachable given the debug_assert; drop `earlier`.
-                    (false, false) => {}
-                }
-            }
-            dist <<= 1;
-        }
-        (exclusive, inclusive)
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ScanLinearSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+        };
+        crate::request::drive(self, schedule)
     }
 }
 

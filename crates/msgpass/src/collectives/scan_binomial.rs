@@ -28,6 +28,9 @@
 use super::{TAG_SCAN_DOWN, TAG_SCAN_UP};
 use crate::comm::Comm;
 use crate::cost::ScanAlgorithm;
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::Schedule;
 use crate::stats::CallKind;
 
 /// The binomial recursion over `[0, p)`, in post-order (children before
@@ -51,6 +54,157 @@ fn binomial_nodes(p: usize) -> Vec<(usize, usize, usize)> {
     nodes
 }
 
+enum SweepPhase {
+    /// Walking `nodes[idx..]` forward; suspension point is the up-sweep
+    /// receive at nodes where this rank is `hi−1`.
+    Up,
+    /// Walking `nodes[..idx]` backward (pre-order); suspension point is
+    /// the prefix receive at nodes where this rank is `mid−1`.
+    Down,
+    Done,
+}
+
+/// Resumable binomial scan. The node walk is the program counter: `idx`
+/// advances forward through the post-order list during the up-sweep,
+/// then backward during the down-sweep; sends are issued eagerly and
+/// only the two receives suspend. Output is `(exclusive, inclusive)`
+/// with the exclusive half `None` on the leftmost spine (rank 0 et al.).
+pub(crate) struct ScanBinomialSchedule<T, B, F> {
+    comm: Comm,
+    tag_up: Tag,
+    tag_down: Tag,
+    bytes_of: B,
+    combine: F,
+    nodes: Vec<(usize, usize, usize)>,
+    idx: usize,
+    phase: SweepPhase,
+    /// Up-sweep running total, consumed by the single prefix-receive (or
+    /// returned as the inclusive result on the spine).
+    acc: Option<T>,
+    /// Left-half totals received during the up-sweep, replayed LIFO by
+    /// the down-sweep.
+    saved: Vec<T>,
+    prefix: Option<T>,
+    inclusive: Option<T>,
+}
+
+impl<T, B, F> ScanBinomialSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B, combine: F) -> Self {
+        let p = comm.size();
+        let nodes = if p < 2 { Vec::new() } else { binomial_nodes(p) };
+        let phase = if nodes.is_empty() { SweepPhase::Done } else { SweepPhase::Up };
+        ScanBinomialSchedule {
+            comm,
+            tag_up: TAG_SCAN_UP + salt,
+            tag_down: TAG_SCAN_DOWN + salt,
+            bytes_of,
+            combine,
+            nodes,
+            idx: 0,
+            phase,
+            acc: Some(value),
+            saved: Vec::new(),
+            prefix: None,
+            inclusive: None,
+        }
+    }
+}
+
+impl<T, B, F> Schedule for ScanBinomialSchedule<T, B, F>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = (Option<T>, T);
+
+    fn poll(&mut self) -> Result<Option<(Option<T>, T)>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let r = self.comm.rank();
+        loop {
+            match self.phase {
+                SweepPhase::Up => {
+                    while self.idx < self.nodes.len() {
+                        let (_, mid, hi) = self.nodes[self.idx];
+                        if r + 1 == mid {
+                            let a = self
+                                .acc
+                                .as_ref()
+                                .expect("up-sweep total is live until the down-sweep");
+                            let bytes = (self.bytes_of)(a);
+                            self.comm.send_with_bytes(hi - 1, self.tag_up, a.clone(), bytes);
+                        } else if r + 1 == hi {
+                            let Some(left) =
+                                self.comm.try_recv_schedule::<T>(mid - 1, self.tag_up)?
+                            else {
+                                return Ok(None);
+                            };
+                            self.saved.push(left.clone());
+                            let acc = self.acc.take().expect("up-sweep total present");
+                            self.acc = Some((self.combine)(left, acc));
+                        }
+                        self.idx += 1;
+                    }
+                    self.phase = SweepPhase::Down;
+                }
+                SweepPhase::Down => {
+                    while self.idx > 0 {
+                        let (lo, mid, hi) = self.nodes[self.idx - 1];
+                        if r + 1 == hi {
+                            if lo > 0 {
+                                let pfx = self
+                                    .prefix
+                                    .as_ref()
+                                    .expect("non-spine prefix is non-empty");
+                                let bytes = (self.bytes_of)(pfx);
+                                self.comm
+                                    .send_with_bytes(mid - 1, self.tag_down, pfx.clone(), bytes);
+                            }
+                            let left = self
+                                .saved
+                                .pop()
+                                .expect("one saved left total per up-sweep receive");
+                            self.prefix = Some(match self.prefix.take() {
+                                None => left,
+                                Some(pf) => (self.combine)(pf, left),
+                            });
+                        } else if r + 1 == mid && lo > 0 {
+                            let Some(pfx) =
+                                self.comm.try_recv_schedule::<T>(hi - 1, self.tag_down)?
+                            else {
+                                return Ok(None);
+                            };
+                            let acc = self
+                                .acc
+                                .take()
+                                .expect("each rank receives its prefix at most once");
+                            self.inclusive = Some((self.combine)(pfx.clone(), acc));
+                            self.prefix = Some(pfx);
+                        }
+                        self.idx -= 1;
+                    }
+                    self.phase = SweepPhase::Done;
+                }
+                SweepPhase::Done => {
+                    // Ranks that never received a prefix (the leftmost
+                    // spine and the root) have their subtree anchored at
+                    // rank 0, so the up-sweep total already *is* their
+                    // inclusive result.
+                    let inclusive = self.inclusive.take().unwrap_or_else(|| {
+                        self.acc.take().expect("unconsumed up-sweep total")
+                    });
+                    return Ok(Some((self.prefix.take(), inclusive)));
+                }
+            }
+        }
+    }
+}
+
 impl Comm {
     /// Both scans by the work-efficient binomial schedule, bypassing the
     /// cost-driven selector (the selector-routed entry points are
@@ -65,73 +219,12 @@ impl Comm {
     ) -> (Option<T>, T) {
         self.stats().record_call(CallKind::Scan);
         self.stats().record_scan_algorithm(ScanAlgorithm::Binomial);
-        let _guard = self.enter_collective();
-        self.scan_binomial_impl(value, &bytes_of, combine)
-    }
-
-    pub(crate) fn scan_binomial_impl<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        bytes_of: &impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
-    ) -> (Option<T>, T) {
-        let p = self.size();
-        let r = self.rank();
-        if p < 2 {
-            return (None, value);
-        }
-        let nodes = binomial_nodes(p);
-
-        // Up-sweep: `acc` grows from this rank's own value to the total
-        // of its maximal subtree; `saved` stacks the left-half totals
-        // received, to be replayed (LIFO) by the down-sweep.
-        let mut acc = Some(value);
-        let mut saved: Vec<T> = Vec::new();
-        for &(_, mid, hi) in &nodes {
-            if r + 1 == mid {
-                let a = acc.as_ref().expect("up-sweep total is live until the down-sweep");
-                let bytes = bytes_of(a);
-                self.send_with_bytes(hi - 1, TAG_SCAN_UP, a.clone(), bytes);
-            } else if r + 1 == hi {
-                let left: T = self.recv(mid - 1, TAG_SCAN_UP);
-                saved.push(left.clone());
-                acc = Some(combine(left, acc.take().expect("up-sweep total present")));
-            }
-        }
-
-        // Down-sweep: `prefix` is this rank's running exclusive prefix
-        // (None = empty, on the leftmost spine); `inclusive` is computed
-        // at the rank's single prefix-receive, consuming `acc`.
-        let mut prefix: Option<T> = None;
-        let mut inclusive: Option<T> = None;
-        for &(lo, mid, hi) in nodes.iter().rev() {
-            if r + 1 == hi {
-                let left = saved.pop().expect("one saved left total per up-sweep receive");
-                if lo > 0 {
-                    let pfx = prefix.as_ref().expect("non-spine prefix is non-empty");
-                    let bytes = bytes_of(pfx);
-                    self.send_with_bytes(mid - 1, TAG_SCAN_DOWN, pfx.clone(), bytes);
-                }
-                prefix = Some(match prefix.take() {
-                    None => left,
-                    Some(pf) => combine(pf, left),
-                });
-            } else if r + 1 == mid && lo > 0 {
-                let pfx: T = self.recv(hi - 1, TAG_SCAN_DOWN);
-                inclusive = Some(combine(
-                    pfx.clone(),
-                    acc.take().expect("each rank receives its prefix at most once"),
-                ));
-                prefix = Some(pfx);
-            }
-        }
-
-        // Ranks that never received a prefix (the leftmost spine and the
-        // root) have their subtree anchored at rank 0, so the up-sweep
-        // total already *is* their inclusive result.
-        let inclusive =
-            inclusive.unwrap_or_else(|| acc.take().expect("unconsumed up-sweep total"));
-        (prefix, inclusive)
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ScanBinomialSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+        };
+        crate::request::drive(self, schedule)
     }
 }
 

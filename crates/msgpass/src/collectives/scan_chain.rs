@@ -22,7 +22,133 @@
 use super::TAG_SCAN_CHAIN;
 use crate::comm::Comm;
 use crate::cost::ScanAlgorithm;
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::Schedule;
 use crate::stats::CallKind;
+
+/// Resumable pipelined-chain scan. The segment iterator is the program
+/// counter: each segment's step is recv-prefix (the only suspension
+/// point, skipped on rank 0), combine, forward, stash; the scan
+/// completes when every segment has flowed through. Segments of one
+/// `(src, tag)` pair arrive in send order (non-overtaking), so a single
+/// tag keeps them matched positionally.
+///
+/// `need_exclusive = false` skips the per-segment prefix clone (the
+/// received prefix is moved straight into the combine) — it changes only
+/// local copying, never messages, bytes, or combine counts.
+pub(crate) struct ScanChainSchedule<T, B, F, U> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    unsplit: U,
+    need_exclusive: bool,
+    /// Segments not yet scanned, in rank-position order. The head is
+    /// consumed only after its prefix has arrived, so a suspended poll
+    /// leaves the iterator untouched.
+    remaining: std::vec::IntoIter<T>,
+    incl: Vec<T>,
+    excl: Vec<T>,
+}
+
+impl<T, B, F, U> ScanChainSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: Fn(Vec<T>) -> T,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Comm,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        salt: Tag,
+        bytes_of: B,
+        combine: F,
+        unsplit: U,
+        need_exclusive: bool,
+    ) -> Self {
+        let s = segments.max(1);
+        let segs = if comm.size() < 2 {
+            // Trivial comm: the single rank's value is both its own
+            // inclusive scan and needs no segmentation round trip.
+            vec![value]
+        } else {
+            let segs = split(value, s);
+            assert_eq!(
+                segs.len(),
+                s,
+                "split must return exactly the requested number of segments"
+            );
+            segs
+        };
+        let trivial = comm.size() < 2;
+        let incl = Vec::with_capacity(segs.len());
+        let excl = Vec::with_capacity(if need_exclusive { segs.len() } else { 0 });
+        ScanChainSchedule {
+            comm,
+            tag: TAG_SCAN_CHAIN + salt,
+            bytes_of,
+            combine,
+            unsplit,
+            need_exclusive: need_exclusive && !trivial,
+            remaining: segs.into_iter(),
+            incl,
+            excl,
+        }
+    }
+}
+
+impl<T, B, F, U> Schedule for ScanChainSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: Fn(Vec<T>) -> T,
+{
+    type Output = (Option<T>, T);
+
+    fn poll(&mut self) -> Result<Option<(Option<T>, T)>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        if p < 2 {
+            let value = self.remaining.next().expect("trivial result taken once");
+            return Ok(Some((None, value)));
+        }
+        while self.remaining.len() > 0 {
+            // Per-segment chain step; the prefix receive suspends
+            // *before* the head segment is consumed.
+            let inc = if r == 0 {
+                self.remaining.next().unwrap()
+            } else {
+                let Some(pfx) = self.comm.try_recv_schedule::<T>(r - 1, self.tag)? else {
+                    return Ok(None);
+                };
+                let seg = self.remaining.next().unwrap();
+                if self.need_exclusive {
+                    let inc = (self.combine)(pfx.clone(), seg);
+                    self.excl.push(pfx);
+                    inc
+                } else {
+                    (self.combine)(pfx, seg)
+                }
+            };
+            if r + 1 < p {
+                let bytes = (self.bytes_of)(&inc);
+                self.comm.send_with_bytes(r + 1, self.tag, inc.clone(), bytes);
+            }
+            self.incl.push(inc);
+        }
+        let exclusive = (self.need_exclusive && r > 0)
+            .then(|| (self.unsplit)(std::mem::take(&mut self.excl)));
+        let inclusive = (self.unsplit)(std::mem::take(&mut self.incl));
+        Ok(Some((exclusive, inclusive)))
+    }
+}
 
 impl Comm {
     /// Both scans by the pipelined chain schedule with an explicit
@@ -43,64 +169,22 @@ impl Comm {
     ) -> (Option<T>, T) {
         self.stats().record_call(CallKind::Scan);
         self.stats().record_scan_algorithm(ScanAlgorithm::PipelinedChain);
-        let _guard = self.enter_collective();
-        let (ex, inc) =
-            self.scan_chain_impl(value, segments, split, unsplit, &bytes_of, combine, true);
-        (ex, inc)
-    }
-
-    /// `need_exclusive = false` skips the per-segment prefix clone (the
-    /// received prefix is moved straight into the combine) — it changes
-    /// only local copying, never messages, bytes, or combine counts.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn scan_chain_impl<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        segments: usize,
-        split: impl FnOnce(T, usize) -> Vec<T>,
-        unsplit: impl Fn(Vec<T>) -> T,
-        bytes_of: &impl Fn(&T) -> usize,
-        mut combine: impl FnMut(T, T) -> T,
-        need_exclusive: bool,
-    ) -> (Option<T>, T) {
-        let p = self.size();
-        let r = self.rank();
-        if p < 2 {
-            return (None, value);
-        }
-        let s = segments.max(1);
-        let segs = split(value, s);
-        assert_eq!(
-            segs.len(),
-            s,
-            "split must return exactly the requested number of segments"
-        );
-        let mut incl = Vec::with_capacity(s);
-        let mut excl = Vec::with_capacity(if need_exclusive { s } else { 0 });
-        for seg in segs {
-            // Per-segment chain step. Segments of one (src, tag) pair
-            // arrive in send order (MPI non-overtaking), so a single tag
-            // keeps them matched positionally.
-            let inc = if r == 0 {
-                seg
-            } else {
-                let pfx: T = self.recv(r - 1, TAG_SCAN_CHAIN);
-                if need_exclusive {
-                    let inc = combine(pfx.clone(), seg);
-                    excl.push(pfx);
-                    inc
-                } else {
-                    combine(pfx, seg)
-                }
-            };
-            if r + 1 < p {
-                let bytes = bytes_of(&inc);
-                self.send_with_bytes(r + 1, TAG_SCAN_CHAIN, inc.clone(), bytes);
-            }
-            incl.push(inc);
-        }
-        let exclusive = (need_exclusive && r > 0).then(|| unsplit(excl));
-        (exclusive, unsplit(incl))
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ScanChainSchedule::new(
+                self.clone_handle(),
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+                true,
+            )
+        };
+        crate::request::drive(self, schedule)
     }
 }
 

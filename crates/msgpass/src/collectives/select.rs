@@ -19,14 +19,28 @@
 //! recursive doubling and the binomial sweep, and the `_splittable`
 //! variants additionally admit the pipelined chain.
 //!
+//! Every selected schedule is a resumable state machine, so each entry
+//! point has a non-blocking twin ([`Comm::iallreduce`],
+//! [`Comm::iscan_inclusive`], [`Comm::iscan_exclusive`], …) that
+//! registers the *same* schedule with the progress engine instead of
+//! driving it in place — algorithm choice and request semantics are
+//! orthogonal.
+//!
 //! Selection uses this rank's local `bytes_of(&value)` as the wire size.
 //! Under the SPMD convention that all ranks pass equal-shaped states
 //! this is uniform; states whose wire size varies per rank (e.g. short
 //! strings) sit far below any crossover, where every model lands on the
 //! same latency-optimal default.
 
+use super::allreduce_rd::AllreduceRdSchedule;
+use super::reduce::AllreduceRbSchedule;
+use super::reduce_scatter::AllreduceRsagSchedule;
+use super::scan::ScanRdSchedule;
+use super::scan_binomial::ScanBinomialSchedule;
+use super::scan_chain::ScanChainSchedule;
 use crate::comm::Comm;
 use crate::cost::{AllreduceAlgorithm, ScanAlgorithm};
+use crate::request::{Map, Request};
 use crate::stats::CallKind;
 
 impl Comm {
@@ -58,7 +72,7 @@ impl Comm {
         &self,
         value: T,
         commutative: bool,
-        bytes_of: impl Fn(&T) -> usize,
+        bytes_of: impl Fn(&T) -> usize + Clone,
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         match self.select_allreduce_algorithm(bytes_of(&value), commutative, false) {
@@ -66,6 +80,41 @@ impl Comm {
                 self.allreduce_reduce_bcast(value, commutative, bytes_of, combine)
             }
             _ => self.allreduce_recursive_doubling(value, bytes_of, combine),
+        }
+    }
+
+    /// Non-blocking [`allreduce`](Self::allreduce): the same cost-driven
+    /// selection, but the chosen schedule is registered with the rank's
+    /// progress engine and the call returns a [`Request`] immediately.
+    pub fn iallreduce<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        commutative: bool,
+        bytes_of: impl Fn(&T) -> usize + Clone + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        let algo = self.select_allreduce_algorithm(bytes_of(&value), commutative, false);
+        self.stats().record_call(CallKind::Allreduce);
+        let salt = self.next_collective_salt();
+        match algo {
+            AllreduceAlgorithm::ReduceBroadcast => {
+                self.stats()
+                    .record_allreduce_algorithm(AllreduceAlgorithm::ReduceBroadcast);
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    AllreduceRbSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                Request::register(self, schedule)
+            }
+            _ => {
+                self.stats()
+                    .record_allreduce_algorithm(AllreduceAlgorithm::RecursiveDoubling);
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    AllreduceRdSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                Request::register(self, schedule)
+            }
         }
     }
 
@@ -80,7 +129,7 @@ impl Comm {
         commutative: bool,
         split: impl FnOnce(T, usize) -> Vec<T>,
         unsplit: impl FnOnce(Vec<T>) -> T,
-        bytes_of: impl Fn(&T) -> usize,
+        bytes_of: impl Fn(&T) -> usize + Clone,
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         match self.select_allreduce_algorithm(bytes_of(&value), commutative, true) {
@@ -94,6 +143,39 @@ impl Comm {
                 self.allreduce_recursive_doubling(value, bytes_of, combine)
             }
         }
+    }
+
+    /// Non-blocking [`allreduce_splittable`](Self::allreduce_splittable).
+    pub fn iallreduce_splittable<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        commutative: bool,
+        split: impl FnOnce(T, usize) -> Vec<T> + 'static,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + Clone + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        let algo = self.select_allreduce_algorithm(bytes_of(&value), commutative, true);
+        if algo != AllreduceAlgorithm::ReduceScatterAllgather {
+            return self.iallreduce(value, commutative, bytes_of, combine);
+        }
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllreduceRsagSchedule::new(
+                self.clone_handle(),
+                value,
+                salt,
+                split,
+                unsplit,
+                bytes_of,
+                combine,
+            )
+        };
+        Request::register(self, schedule)
     }
 
     /// Picks the cheapest eligible scan schedule for a state of
@@ -114,8 +196,50 @@ impl Comm {
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Scan);
-        let (_, inc) = self.scan_dispatch(value, &bytes_of, combine, false, true);
+        let (_, inc) = self.scan_dispatch(value, bytes_of, combine, false, true);
         inc.expect("inclusive result was requested")
+    }
+
+    /// Non-blocking [`scan_inclusive`](Self::scan_inclusive).
+    pub fn iscan_inclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Scan);
+        let algo = self.select_scan_algorithm(bytes_of(&value), false);
+        self.stats().record_scan_algorithm(algo);
+        let salt = self.next_collective_salt();
+        match algo {
+            ScanAlgorithm::Binomial => {
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanBinomialSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                Request::register(self, Map::new(schedule, |(_, inc)| inc))
+            }
+            _ => {
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanRdSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        salt,
+                        bytes_of,
+                        combine,
+                        false,
+                        true,
+                    )
+                };
+                Request::register(
+                    self,
+                    Map::new(schedule, |(_, inc): (Option<T>, Option<T>)| {
+                        inc.expect("inclusive result was requested")
+                    }),
+                )
+            }
+        }
     }
 
     /// Exclusive scan with cost-driven schedule selection: rank `r`
@@ -128,9 +252,56 @@ impl Comm {
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Exscan);
-        self.scan_dispatch(value, &bytes_of, combine, true, false)
+        self.scan_dispatch(value, bytes_of, combine, true, false)
             .0
             .unwrap_or_else(ident)
+    }
+
+    /// Non-blocking [`scan_exclusive`](Self::scan_exclusive); `ident`
+    /// runs when the request resolves on rank 0.
+    pub fn iscan_exclusive<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        ident: impl FnOnce() -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Exscan);
+        let algo = self.select_scan_algorithm(bytes_of(&value), false);
+        self.stats().record_scan_algorithm(algo);
+        let salt = self.next_collective_salt();
+        match algo {
+            ScanAlgorithm::Binomial => {
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanBinomialSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                Request::register(
+                    self,
+                    Map::new(schedule, |(ex, _): (Option<T>, T)| ex.unwrap_or_else(ident)),
+                )
+            }
+            _ => {
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanRdSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        salt,
+                        bytes_of,
+                        combine,
+                        true,
+                        false,
+                    )
+                };
+                Request::register(
+                    self,
+                    Map::new(schedule, |(ex, _): (Option<T>, Option<T>)| {
+                        ex.unwrap_or_else(ident)
+                    }),
+                )
+            }
+        }
     }
 
     /// Both scans at once (one communication schedule): `(exclusive,
@@ -151,7 +322,7 @@ impl Comm {
         combine: impl FnMut(T, T) -> T,
     ) -> (Option<T>, T) {
         self.stats().record_call(CallKind::Scan);
-        let (ex, inc) = self.scan_dispatch(value, &bytes_of, combine, true, true);
+        let (ex, inc) = self.scan_dispatch(value, bytes_of, combine, true, true);
         (ex, inc.expect("inclusive result was requested"))
     }
 
@@ -170,7 +341,7 @@ impl Comm {
     ) -> T {
         self.stats().record_call(CallKind::Scan);
         let (_, inc) =
-            self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, false, true);
+            self.scan_splittable_dispatch(value, split, unsplit, bytes_of, combine, false, true);
         inc.expect("inclusive result was requested")
     }
 
@@ -186,7 +357,7 @@ impl Comm {
         combine: impl FnMut(T, T) -> T,
     ) -> T {
         self.stats().record_call(CallKind::Exscan);
-        self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, true, false)
+        self.scan_splittable_dispatch(value, split, unsplit, bytes_of, combine, true, false)
             .0
             .unwrap_or_else(ident)
     }
@@ -203,30 +374,49 @@ impl Comm {
     ) -> (Option<T>, T) {
         self.stats().record_call(CallKind::Scan);
         let (ex, inc) =
-            self.scan_splittable_dispatch(value, split, unsplit, &bytes_of, combine, true, true);
+            self.scan_splittable_dispatch(value, split, unsplit, bytes_of, combine, true, true);
         (ex, inc.expect("inclusive result was requested"))
     }
 
     /// Two-way dispatch (recursive doubling vs. binomial) for whole
     /// states. The caller has already recorded its [`CallKind`]; this
-    /// records the schedule and runs it inside the collective guard.
+    /// records the schedule, constructs it under the collective guard,
+    /// and drives it to completion on the caller's stack.
     fn scan_dispatch<T: Clone + Send + 'static>(
         &self,
         value: T,
-        bytes_of: &impl Fn(&T) -> usize,
+        bytes_of: impl Fn(&T) -> usize,
         combine: impl FnMut(T, T) -> T,
         need_exclusive: bool,
         need_inclusive: bool,
     ) -> (Option<T>, Option<T>) {
         let algo = self.select_scan_algorithm(bytes_of(&value), false);
         self.stats().record_scan_algorithm(algo);
-        let _guard = self.enter_collective();
+        let salt = self.next_collective_salt();
         match algo {
             ScanAlgorithm::Binomial => {
-                let (ex, inc) = self.scan_binomial_impl(value, bytes_of, combine);
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanBinomialSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                let (ex, inc) = crate::request::drive(self, schedule);
                 (ex, Some(inc))
             }
-            _ => self.scan_rd_impl(value, bytes_of, combine, need_exclusive, need_inclusive),
+            _ => {
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanRdSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        salt,
+                        bytes_of,
+                        combine,
+                        need_exclusive,
+                        need_inclusive,
+                    )
+                };
+                crate::request::drive(self, schedule)
+            }
         }
     }
 
@@ -239,7 +429,7 @@ impl Comm {
         value: T,
         split: impl FnOnce(T, usize) -> Vec<T>,
         unsplit: impl Fn(Vec<T>) -> T,
-        bytes_of: &impl Fn(&T) -> usize,
+        bytes_of: impl Fn(&T) -> usize,
         combine: impl FnMut(T, T) -> T,
         need_exclusive: bool,
         need_inclusive: bool,
@@ -247,28 +437,50 @@ impl Comm {
         let bytes = bytes_of(&value);
         let algo = self.select_scan_algorithm(bytes, true);
         self.stats().record_scan_algorithm(algo);
-        let _guard = self.enter_collective();
+        let salt = self.next_collective_salt();
         match algo {
             ScanAlgorithm::PipelinedChain => {
                 let segments =
                     ScanAlgorithm::chain_segments(&self.cost_model(), self.size(), bytes);
-                let (ex, inc) = self.scan_chain_impl(
-                    value,
-                    segments,
-                    split,
-                    unsplit,
-                    bytes_of,
-                    combine,
-                    need_exclusive,
-                );
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanChainSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        segments,
+                        split,
+                        salt,
+                        bytes_of,
+                        combine,
+                        unsplit,
+                        need_exclusive,
+                    )
+                };
+                let (ex, inc) = crate::request::drive(self, schedule);
                 (ex, Some(inc))
             }
             ScanAlgorithm::Binomial => {
-                let (ex, inc) = self.scan_binomial_impl(value, bytes_of, combine);
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanBinomialSchedule::new(self.clone_handle(), value, salt, bytes_of, combine)
+                };
+                let (ex, inc) = crate::request::drive(self, schedule);
                 (ex, Some(inc))
             }
             ScanAlgorithm::RecursiveDoubling => {
-                self.scan_rd_impl(value, bytes_of, combine, need_exclusive, need_inclusive)
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    ScanRdSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        salt,
+                        bytes_of,
+                        combine,
+                        need_exclusive,
+                        need_inclusive,
+                    )
+                };
+                crate::request::drive(self, schedule)
             }
         }
     }
@@ -378,6 +590,84 @@ mod tests {
                 for res in outcome.results {
                     assert_eq!(res, vec![total; 64], "p={p} commutative={commutative}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn iallreduce_records_the_same_selection_as_blocking() {
+        // Small scalar state: both paths must pick recursive doubling
+        // and produce the same stats (one Allreduce call, one RD
+        // schedule record per rank).
+        let blocking = Runtime::new(8).run(|comm| {
+            comm.allreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b)
+        });
+        let nonblocking = Runtime::new(8).run(|comm| {
+            let mut req = comm.iallreduce(comm.rank() as u64, true, |_| 8, |a, b| a + b);
+            req.wait().unwrap()
+        });
+        assert_eq!(blocking.results, nonblocking.results);
+        assert_eq!(
+            blocking.stats.calls(CallKind::Allreduce),
+            nonblocking.stats.calls(CallKind::Allreduce)
+        );
+        assert_eq!(
+            blocking
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling),
+            nonblocking
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::RecursiveDoubling),
+        );
+    }
+
+    #[test]
+    fn iallreduce_splittable_uses_ring_for_large_states() {
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 8 << 10]; // 64 KiB
+            let mut req = comm.iallreduce_splittable(
+                state,
+                true,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            );
+            req.wait().unwrap()
+        });
+        for res in &outcome.results {
+            assert_eq!(res, &vec![28u64; 8 << 10]);
+        }
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::ReduceScatterAllgather),
+            8
+        );
+    }
+
+    #[test]
+    fn iscan_variants_match_blocking_results() {
+        for p in [1usize, 2, 5, 8] {
+            let outcome = Runtime::new(p).run(|comm| {
+                let mut inc_req = comm.iscan_inclusive(
+                    format!("<{}>", comm.rank()),
+                    |s: &String| s.len(),
+                    |a, b| a + &b,
+                );
+                let mut exc_req = comm.iscan_exclusive(
+                    format!("<{}>", comm.rank()),
+                    String::new,
+                    |s: &String| s.len(),
+                    |a, b| a + &b,
+                );
+                (inc_req.wait().unwrap(), exc_req.wait().unwrap())
+            });
+            for (r, (inc, exc)) in outcome.results.iter().enumerate() {
+                let expected_inc: String = (0..=r).map(|i| format!("<{i}>")).collect();
+                let expected_exc: String = (0..r).map(|i| format!("<{i}>")).collect();
+                assert_eq!(inc, &expected_inc, "p={p} r={r}");
+                assert_eq!(exc, &expected_exc, "p={p} r={r}");
             }
         }
     }

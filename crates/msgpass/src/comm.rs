@@ -9,8 +9,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::cost::CostModel;
-use crate::mailbox::{Mailbox, PeerSender, ShutdownError, Source};
+use crate::mailbox::{Mailbox, PeerSender, ShutdownError, Source, WaitState};
 use crate::message::{Packet, Tag};
+use crate::request::Engine;
 use crate::stats::{CallKind, Stats};
 
 /// Identifier of the world communicator.
@@ -73,12 +74,26 @@ pub(crate) struct RankCore {
     /// not *user* send calls (an MPI trace would not show them either), so
     /// `CallKind::Send` is only recorded at depth 0.
     pub(crate) collective_depth: Cell<u32>,
+    /// The rank's progress engine: in-flight non-blocking collectives.
+    pub(crate) engine: RefCell<Engine>,
+    /// Monotone count of packets this rank consumed through non-blocking
+    /// receives — the drive loops' progress signal (a sweep that moved
+    /// this counter resets the backoff instead of parking).
+    pub(crate) progress: Cell<u64>,
+    /// Per-communicator collective sequence numbers, for tag salting.
+    /// Collectives are called in the same order on every member of a
+    /// communicator (the MPI rule), so each rank's counter agrees without
+    /// communication; salting the reserved tags by it keeps concurrent
+    /// schedules on one communicator from matching each other's traffic.
+    pub(crate) coll_seq: RefCell<HashMap<u64, u64>>,
 }
 
-/// RAII marker for "this rank is inside a collective".
-pub(crate) struct CollectiveGuard<'a>(&'a RankCore);
+/// RAII marker for "this rank is inside a collective". Owns its `Rc` to
+/// the rank core so schedules can hold the guard across `&mut self`
+/// method calls in `poll`.
+pub(crate) struct CollectiveGuard(Rc<RankCore>);
 
-impl Drop for CollectiveGuard<'_> {
+impl Drop for CollectiveGuard {
     fn drop(&mut self) {
         self.0.collective_depth.set(self.0.collective_depth.get() - 1);
     }
@@ -129,17 +144,85 @@ impl Comm {
                 aborted: init.aborted,
                 eager_threshold: Cell::new(init.eager_threshold),
                 collective_depth: Cell::new(0),
+                engine: RefCell::new(Engine::default()),
+                progress: Cell::new(0),
+                coll_seq: RefCell::new(HashMap::new()),
             }),
             dups: Cell::new(0),
         }
     }
 
+    /// A second handle to the same communicator endpoint, for schedules
+    /// and requests that outlive the borrow they were created under.
+    /// Identical id/rank/members; shares the rank core *and* the message
+    /// space (unlike [`dup`](Self::dup), which is a collective and opens
+    /// a fresh message space).
+    ///
+    /// Public because non-blocking callers need owned captures: the
+    /// `'static` closures handed to [`iallreduce`](Self::iallreduce) and
+    /// friends cannot borrow the caller's `Comm`, so layers that charge
+    /// modeled compute inside a combine closure (e.g. `gv-rsmpi`)
+    /// capture a handle instead. `Comm` is `!Send`, so a handle can
+    /// never leave its rank thread.
+    pub fn clone_handle(&self) -> Comm {
+        Comm {
+            id: self.id,
+            rank: self.rank,
+            members: self.members.clone(),
+            core: Rc::clone(&self.core),
+            dups: Cell::new(0),
+        }
+    }
+
+    /// The rank's progress engine.
+    pub(crate) fn engine(&self) -> &RefCell<Engine> {
+        &self.core.engine
+    }
+
+    /// Monotone count of packets consumed via non-blocking receives.
+    pub(crate) fn progress_count(&self) -> u64 {
+        self.core.progress.get()
+    }
+
+    /// One mailbox backoff step (see [`Mailbox::wait_for_activity`]).
+    pub(crate) fn wait_for_activity(&self, state: &mut WaitState) {
+        self.core
+            .mailbox
+            .borrow_mut()
+            .wait_for_activity(state, &self.core.stats);
+    }
+
+    /// Drops every in-flight schedule. The runtime calls this when the
+    /// rank's closure returns: live (detached) schedules are cancelled,
+    /// and the `Comm` clones they own are released, breaking the
+    /// `Comm → Engine → Comm` cycle.
+    pub(crate) fn shutdown_engine(&self) {
+        if let Ok(mut engine) = self.core.engine.try_borrow_mut() {
+            engine.clear();
+        }
+    }
+
+    /// Draws this communicator's next collective sequence number and
+    /// returns the tag salt derived from it. Every member draws the same
+    /// value for the same collective call (collectives are ordered per
+    /// communicator), so the salted tags agree across ranks. Reserved tag
+    /// bases stay below `0x1000` apart, and the salt occupies bits 12–23,
+    /// so salted tags never collide across 4096 consecutive in-flight
+    /// collectives on one communicator.
+    pub(crate) fn next_collective_salt(&self) -> Tag {
+        let mut seqs = self.core.coll_seq.borrow_mut();
+        let seq = seqs.entry(self.id).or_insert(0);
+        let salt = ((*seq % 0x1000) as Tag) << 12;
+        *seq += 1;
+        salt
+    }
+
     /// Marks this rank as inside a collective until the guard drops.
-    pub(crate) fn enter_collective(&self) -> CollectiveGuard<'_> {
+    pub(crate) fn enter_collective(&self) -> CollectiveGuard {
         self.core
             .collective_depth
             .set(self.core.collective_depth.get() + 1);
-        CollectiveGuard(&self.core)
+        CollectiveGuard(Rc::clone(&self.core))
     }
 
     /// This rank's index within the communicator, `0..size()`.
@@ -294,23 +377,86 @@ impl Comm {
         (value, available_at)
     }
 
+    /// One non-blocking matching pass for a resumable schedule: on a
+    /// delivery, charges the receive overhead and advances the clock to
+    /// the message's availability — exactly the accounting of
+    /// [`recv`](Self::recv) — and bumps the rank's progress counter.
+    /// `Ok(None)` means nothing matching has arrived yet.
+    pub(crate) fn try_recv_schedule<T: 'static>(
+        &self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<Option<T>, ShutdownError> {
+        let packet = self.core.mailbox.borrow_mut().try_recv(
+            self.id,
+            Source::Rank(src),
+            tag,
+            &self.members,
+            &self.core.aborted,
+            &self.core.stats,
+        )?;
+        let Some(packet) = packet else { return Ok(None) };
+        self.core.progress.set(self.core.progress.get() + 1);
+        let available_at = packet.sent_at
+            + self.core.cost.alpha / 2.0
+            + self.core.cost.beta * packet.bytes as f64;
+        self.charge_overhead();
+        self.bump_clock_to(available_at);
+        let from = packet.src;
+        Ok(Some(downcast_payload::<T>(packet.payload, self.id, from, tag)))
+    }
+
     /// Blocks on the mailbox; a receive that can never complete (peer
     /// exited or abort flag raised) unwinds this rank with the typed
     /// [`ShutdownError`] as the panic payload, which the runtime's abort
     /// path propagates to the caller of `Runtime::run`.
+    ///
+    /// While non-blocking requests are in flight, the wait interleaves
+    /// engine sweeps with mailbox polls (MPI's progress rule: blocking
+    /// calls progress pending requests); with an idle engine it takes the
+    /// transport's native blocking path unchanged.
     fn blocking_recv(&self, src: Source, tag: Tag) -> Packet {
-        self.core
-            .mailbox
-            .borrow_mut()
-            .recv_or_abort(
+        if self.core.engine.borrow().is_idle() {
+            return self
+                .core
+                .mailbox
+                .borrow_mut()
+                .recv_or_abort(
+                    self.id,
+                    src,
+                    tag,
+                    &self.members,
+                    &self.core.aborted,
+                    &self.core.stats,
+                )
+                .unwrap_or_else(|err: ShutdownError| std::panic::panic_any(err));
+        }
+        let mut wait = WaitState::new();
+        loop {
+            let attempt = self.core.mailbox.borrow_mut().try_recv(
                 self.id,
                 src,
                 tag,
                 &self.members,
                 &self.core.aborted,
                 &self.core.stats,
-            )
-            .unwrap_or_else(|err: ShutdownError| std::panic::panic_any(err))
+            );
+            match attempt {
+                Ok(Some(packet)) => return packet,
+                Ok(None) => {}
+                Err(err) => std::panic::panic_any(err),
+            }
+            let before = self.core.progress.get();
+            crate::request::poll_engine(self);
+            if self.core.progress.get() == before {
+                self.core
+                    .mailbox
+                    .borrow_mut()
+                    .wait_for_activity(&mut wait, &self.core.stats);
+            } else {
+                wait.reset();
+            }
+        }
     }
 
     /// Receives a `T` with `tag` from any source; returns `(value, src)`.

@@ -32,6 +32,7 @@ pub mod cost;
 pub mod localview;
 mod mailbox;
 mod message;
+pub mod request;
 pub mod runtime;
 pub mod stats;
 
@@ -39,5 +40,6 @@ pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
 pub use cost::{AllreduceAlgorithm, CostModel, ScanAlgorithm};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
+pub use request::{test_any, wait_all, Request, RequestError};
 pub use runtime::{RunOutcome, Runtime, Transport};
 pub use stats::{CallKind, Stats, StatsSnapshot, TransportSnapshot};

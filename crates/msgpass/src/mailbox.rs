@@ -55,6 +55,30 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(50);
 /// and never park.
 const YIELD_LIMIT: u32 = 64;
 
+/// Backoff state carried by a caller polling its mailbox without a
+/// posted receive to block on (the progress engine's drive loops).
+///
+/// One [`Mailbox::wait_for_activity`] call performs a *single* backoff
+/// step — spin, yield, or a parked timed wait, in that order — so the
+/// caller can interleave engine polls between steps. Reset it whenever a
+/// poll makes progress so the next wait starts hot again.
+pub(crate) struct WaitState {
+    spins: u32,
+    yields: u32,
+}
+
+impl WaitState {
+    pub(crate) fn new() -> Self {
+        WaitState { spins: 0, yields: 0 }
+    }
+
+    /// Back to the spin phase (call after any progress).
+    pub(crate) fn reset(&mut self) {
+        self.spins = 0;
+        self.yields = 0;
+    }
+}
+
 /// Source selector for a receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Source {
@@ -243,6 +267,73 @@ impl LaneMailbox {
         None
     }
 
+    /// One non-blocking matching pass: stash, then a ring drain, then the
+    /// shutdown checks. `Ok(None)` means "nothing yet, transport alive".
+    fn try_recv(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        lanes: &[usize],
+        aborted: &AtomicBool,
+        stats: &Stats,
+    ) -> Result<Option<Packet>, ShutdownError> {
+        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
+        if let Some(packet) = self.take_stashed(comm_id, tag, lanes) {
+            stats.transport.record_stash_recv();
+            return Ok(Some(packet));
+        }
+        if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+            return Ok(Some(packet));
+        }
+        // Shutdown checks come only after a full drain: a message already
+        // delivered always beats a concurrent shutdown.
+        if aborted.load(Ordering::Relaxed) {
+            return Err(shutdown(ShutdownKind::Aborted));
+        }
+        if lanes.iter().all(|&w| self.lanes[w].rx.is_closed()) {
+            // `is_closed` was observed *after* the drain above, and a
+            // producer closes only after its final send, so one more
+            // drain sees anything that raced with the closure.
+            if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                return Ok(Some(packet));
+            }
+            let kind = if aborted.load(Ordering::Relaxed) {
+                ShutdownKind::Aborted
+            } else {
+                ShutdownKind::Disconnected
+            };
+            return Err(shutdown(kind));
+        }
+        Ok(None)
+    }
+
+    /// One backoff step while nothing was receivable: spin, then yield,
+    /// then take a wake ticket, re-check every lane, and park (bounded by
+    /// [`PARK_TIMEOUT`]). Watches *all* lanes, not one receive's
+    /// candidates, because the caller may be progressing several
+    /// schedules with different matching triples.
+    fn wait_for_activity(&self, state: &mut WaitState, stats: &Stats) {
+        if state.spins < self.spin_limit {
+            state.spins += 1;
+            std::hint::spin_loop();
+            return;
+        }
+        if state.yields < YIELD_LIMIT {
+            state.yields += 1;
+            std::thread::yield_now();
+            return;
+        }
+        let ticket = self.parker.ticket();
+        if self.lanes.iter().any(|lane| lane.rx.ready()) {
+            state.reset();
+            return;
+        }
+        stats.transport.record_park();
+        self.parker.park_timeout(ticket, PARK_TIMEOUT);
+        state.reset();
+    }
+
     fn recv_or_abort(
         &mut self,
         comm_id: u64,
@@ -373,6 +464,67 @@ impl SharedMailbox {
         Some(packet)
     }
 
+    /// One non-blocking matching pass over the pending index and the
+    /// incoming channel. `Ok(None)` means "nothing yet, transport alive".
+    fn try_recv(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        aborted: &AtomicBool,
+        stats: &Stats,
+    ) -> Result<Option<Packet>, ShutdownError> {
+        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
+        if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            stats.transport.record_stash_recv();
+            return Ok(Some(packet));
+        }
+        while let Some(packet) = self.incoming.try_recv() {
+            if Self::matches(&packet, comm_id, src, tag) {
+                stats.transport.record_ring_recv();
+                return Ok(Some(packet));
+            }
+            self.stash(packet);
+            stats.transport.record_restash();
+        }
+        if aborted.load(Ordering::Relaxed) {
+            return Err(shutdown(ShutdownKind::Aborted));
+        }
+        if self.incoming.is_disconnected() {
+            // Disconnection was observed after the drain above; one more
+            // pass catches a send that raced with the last sender's exit.
+            while let Some(packet) = self.incoming.try_recv() {
+                if Self::matches(&packet, comm_id, src, tag) {
+                    stats.transport.record_ring_recv();
+                    return Ok(Some(packet));
+                }
+                self.stash(packet);
+                stats.transport.record_restash();
+            }
+            let kind = if aborted.load(Ordering::Relaxed) {
+                ShutdownKind::Aborted
+            } else {
+                ShutdownKind::Disconnected
+            };
+            return Err(shutdown(kind));
+        }
+        Ok(None)
+    }
+
+    /// One backoff step: a timed blocking wait on the shared channel. An
+    /// arrival is stashed into the pending index (a later
+    /// [`try_recv`](Self::try_recv) finds it there), so this never loses
+    /// a message to the wait itself.
+    fn wait_for_activity(&mut self, stats: &Stats) {
+        match self.incoming.recv_timeout(PARK_TIMEOUT) {
+            Ok(packet) => self.stash(packet),
+            Err(RecvTimeoutError::Timeout) => stats.transport.record_park(),
+            // Disconnection is the *caller's* signal to stop waiting; the
+            // next try_recv pass reports it as a typed shutdown.
+            Err(RecvTimeoutError::Disconnected) => stats.transport.record_park(),
+        }
+    }
+
     fn recv_or_abort(
         &mut self,
         comm_id: u64,
@@ -448,6 +600,40 @@ impl Mailbox {
                 Source::Any => lanes.recv_or_abort(comm_id, src, tag, members, aborted, stats),
             },
             Mailbox::Shared(shared) => shared.recv_or_abort(comm_id, src, tag, aborted, stats),
+        }
+    }
+
+    /// Non-blocking variant of [`recv_or_abort`](Self::recv_or_abort):
+    /// one matching pass, `Ok(None)` when nothing is receivable yet. The
+    /// progress engine's schedule polls are built on this.
+    pub(crate) fn try_recv(
+        &mut self,
+        comm_id: u64,
+        src: Source,
+        tag: Tag,
+        members: &[usize],
+        aborted: &AtomicBool,
+        stats: &Stats,
+    ) -> Result<Option<Packet>, ShutdownError> {
+        match self {
+            Mailbox::Lanes(lanes) => match src {
+                Source::Rank(q) => {
+                    let lane = [members[q]];
+                    lanes.try_recv(comm_id, src, tag, &lane, aborted, stats)
+                }
+                Source::Any => lanes.try_recv(comm_id, src, tag, members, aborted, stats),
+            },
+            Mailbox::Shared(shared) => shared.try_recv(comm_id, src, tag, aborted, stats),
+        }
+    }
+
+    /// One backoff step for a caller whose last full sweep of polls made
+    /// no progress. Bounded by [`PARK_TIMEOUT`], woken early by any
+    /// producer, lane closure, or a runtime abort's unpark.
+    pub(crate) fn wait_for_activity(&mut self, state: &mut WaitState, stats: &Stats) {
+        match self {
+            Mailbox::Lanes(lanes) => lanes.wait_for_activity(state, stats),
+            Mailbox::Shared(shared) => shared.wait_for_activity(stats),
         }
     }
 }

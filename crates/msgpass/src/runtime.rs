@@ -158,6 +158,10 @@ impl Runtime {
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || f(&comm),
                         ));
+                        // Cancel leftover (detached) schedules and break the
+                        // `Comm → Engine → Comm` cycle their boxed state
+                        // holds, on both the clean and the panic path.
+                        comm.shutdown_engine();
                         match outcome {
                             Ok(value) => {
                                 *slot = Some((value, comm.now()));

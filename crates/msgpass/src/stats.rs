@@ -102,6 +102,15 @@ pub struct Stats {
     scan_algorithms: [AtomicU64; SCAN_ALGOS],
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Collective schedule runs started (blocking drives and `i*`
+    /// registrations both count — a blocking collective is a request that
+    /// completes inline). Schedule-level and deterministic, unlike the
+    /// transport counters below.
+    requests_started: AtomicU64,
+    /// Schedule runs that delivered a result. `started − completed` is
+    /// the in-flight count: requests cancelled by a drop-without-wait or
+    /// killed by a transport shutdown never complete.
+    requests_completed: AtomicU64,
     /// Transport-path counters (eager/queued, ring/stash, parks). These
     /// observe *how* packets moved, never *how many* — `messages`/`bytes`
     /// stay the schedule-level ground truth the figures are checked
@@ -232,6 +241,17 @@ impl Stats {
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records one collective schedule run starting (a blocking drive or
+    /// an `i*` registration).
+    pub fn record_request_started(&self) {
+        self.requests_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one schedule run delivering its result.
+    pub fn record_request_completed(&self) {
+        self.requests_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot (counters are monotone).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut calls = [0u64; KINDS];
@@ -252,6 +272,8 @@ impl Stats {
             scan_algorithms,
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            requests_started: self.requests_started.load(Ordering::Relaxed),
+            requests_completed: self.requests_completed.load(Ordering::Relaxed),
             transport: self.transport.snapshot(),
         }
     }
@@ -267,6 +289,11 @@ pub struct StatsSnapshot {
     pub messages: u64,
     /// Total wire bytes.
     pub bytes: u64,
+    /// Collective schedule runs started (blocking + non-blocking).
+    pub requests_started: u64,
+    /// Schedule runs that delivered a result; `requests_started −
+    /// requests_completed` were still in flight (or cancelled/shut down).
+    pub requests_completed: u64,
     /// Transport-path counters at the same instant.
     pub transport: TransportSnapshot,
 }
@@ -336,6 +363,10 @@ impl StatsSnapshot {
             scan_algorithms,
             messages: self.messages.saturating_sub(earlier.messages),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            requests_started: self.requests_started.saturating_sub(earlier.requests_started),
+            requests_completed: self
+                .requests_completed
+                .saturating_sub(earlier.requests_completed),
             transport: self.transport.since(&earlier.transport),
         }
     }

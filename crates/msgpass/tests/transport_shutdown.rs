@@ -168,3 +168,72 @@ fn abort_reaches_any_source_receives() {
         );
     }
 }
+
+#[test]
+fn peer_exit_while_parked_in_wait_all_is_a_typed_request_error() {
+    // The request layer's shutdown contract: rank 0 exits without ever
+    // joining the collectives, so rank 1 — parked inside `wait_all` with
+    // two requests in flight — must observe the closing lane as
+    // `RequestError::Shutdown(Disconnected)` rather than deadlocking
+    // (lane transport, for the same reason as
+    // `peer_exit_while_parked_is_disconnected`).
+    let outcome = Runtime::new(2).transport(Transport::PerPeerLanes).run(|comm| {
+        if comm.rank() == 0 {
+            // Give rank 1 time to issue, sweep once, and park.
+            std::thread::sleep(Duration::from_millis(30));
+            return None; // exits; its lanes close behind it
+        }
+        let started = Instant::now();
+        let mut reqs: Vec<_> = (0..2u64)
+            .map(|i| comm.iallreduce_recursive_doubling(i, |_| 8, |a, b| a + b))
+            .collect();
+        let err = gv_msgpass::wait_all(&mut reqs).expect_err("peer never participated");
+        Some((err, started.elapsed()))
+    });
+    let (err, waited) = outcome
+        .results
+        .into_iter()
+        .nth(1)
+        .unwrap()
+        .expect("rank 1 observed the shutdown");
+    match err {
+        gv_msgpass::RequestError::Shutdown(err) => {
+            assert_eq!(err.kind, ShutdownKind::Disconnected);
+            assert_eq!(err.src, Source::Rank(0));
+        }
+        other => panic!("expected a shutdown error, got {other:?}"),
+    }
+    // The waiter blocked across the peer's 30 ms sleep (parked, not
+    // spinning), and lane closure was detected promptly — not via
+    // minutes of timeout backstops.
+    assert!(waited >= Duration::from_millis(20), "{waited:?}");
+    assert!(waited < Duration::from_secs(2), "{waited:?}");
+}
+
+#[test]
+fn peer_panic_fails_a_parked_wait_as_aborted() {
+    // A peer panic (runtime abort) must unwind a parked single-request
+    // `wait` with `RequestError::Shutdown(Aborted)` on both transports.
+    for transport in TRANSPORTS {
+        let kinds: Mutex<Vec<ShutdownKind>> = Mutex::new(Vec::new());
+        let run = std::panic::catch_unwind(|| {
+            Runtime::new(2).transport(transport).run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("rank 0 exploded");
+                }
+                let mut req = comm.iallreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
+                if let Err(gv_msgpass::RequestError::Shutdown(err)) = req.wait() {
+                    kinds.lock().unwrap().push(err.kind);
+                }
+            })
+        });
+        assert!(run.is_err(), "{transport:?}: the panic must propagate");
+        let kinds = kinds.into_inner().unwrap();
+        assert_eq!(
+            kinds,
+            vec![ShutdownKind::Aborted],
+            "{transport:?}: rank 1's wait must fail typed"
+        );
+    }
+}

@@ -34,7 +34,8 @@ pub mod scan;
 pub use agg::{reduce_all_elementwise, scan_elementwise};
 pub use dist::DistVector;
 pub use reduce::{
-    reduce, reduce_all, reduce_all_claiming_commutativity, reduce_all_from_iter,
+    ireduce_all, reduce, reduce_all, reduce_all_claiming_commutativity, reduce_all_from_iter,
     reduce_all_from_iter_splittable, reduce_all_splittable, reduce_all_with_branching,
+    ReduceAllRequest,
 };
 pub use scan::{scan, scan_with_block_total};

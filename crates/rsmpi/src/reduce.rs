@@ -17,9 +17,11 @@
 //! with [`ReduceScanOp::wire_size`] modeled bytes, and combining respects
 //! rank order whenever the operator is non-commutative.
 
+use std::rc::Rc;
+
 use gv_core::op::{accumulate_block, ReduceScanOp};
 use gv_core::split::SplittableState;
-use gv_msgpass::Comm;
+use gv_msgpass::{Comm, Request, RequestError};
 
 /// Runs the accumulate phase of Listing 2 for this rank's block and
 /// charges its modeled compute cost.
@@ -158,6 +160,59 @@ where
 {
     let state = accumulate_local_from_iter(comm, op, values);
     op.red_gen(allreduce_state_splittable(comm, op, state))
+}
+
+/// An in-flight [`ireduce_all`]: the cross-rank combine is parked in the
+/// rank's progress engine; `wait`/`test` resolve it and apply the
+/// operator's `red_gen` to the combined state.
+pub struct ReduceAllRequest<Op: ReduceScanOp> {
+    inner: Request<Op::State>,
+    op: Rc<Op>,
+}
+
+impl<Op: ReduceScanOp> ReduceAllRequest<Op>
+where
+    Op::State: 'static,
+{
+    /// Blocks (driving the progress engine) until the reduction
+    /// completes, then generates the output.
+    pub fn wait(&mut self) -> Result<Op::Out, RequestError> {
+        self.inner.wait().map(|s| self.op.red_gen(s))
+    }
+
+    /// Polls once without blocking: `Ok(Some(out))` when complete.
+    pub fn test(&mut self) -> Result<Option<Op::Out>, RequestError> {
+        Ok(self.inner.test()?.map(|s| self.op.red_gen(s)))
+    }
+}
+
+/// Non-blocking [`reduce_all`]: the accumulate phase still runs inline
+/// (it is local compute), but the cross-rank combine returns immediately
+/// as a request, letting the caller overlap further accumulation or
+/// independent collectives — MPI's `MPI_Iallreduce` shape lifted to
+/// user-defined operators. The operator moves into the request
+/// (`'static` closures cannot borrow it), so pass it by value.
+pub fn ireduce_all<Op>(comm: &Comm, op: Op, local: &[Op::In]) -> ReduceAllRequest<Op>
+where
+    Op: ReduceScanOp + 'static,
+    Op::State: Clone + Send + 'static,
+{
+    let state = accumulate_local(comm, &op, local);
+    let op = Rc::new(op);
+    let handle = comm.clone_handle();
+    let bytes_op = Rc::clone(&op);
+    let combine_op = Rc::clone(&op);
+    let inner = comm.iallreduce(
+        state,
+        Op::COMMUTATIVE,
+        move |s| bytes_op.wire_size(s),
+        move |mut earlier, later| {
+            handle.advance(combine_op.combine_ops(&later));
+            combine_op.combine(&mut earlier, later);
+            earlier
+        },
+    );
+    ReduceAllRequest { inner, op }
 }
 
 /// Global-view reduction delivering the result to `root` only — the
@@ -384,6 +439,30 @@ mod tests {
             for got in outcome.results {
                 assert_eq!(got, expected, "topk p={p}");
             }
+        }
+    }
+
+    #[test]
+    fn ireduce_all_matches_blocking_and_overlaps() {
+        let data: Vec<i64> = (0..1000).map(|i| (i * 37) % 211 - 100).collect();
+        let expected_sum = gv_core::seq::reduce(&sum::<i64>(), &data);
+        let expected_max = gv_core::seq::reduce(&max::<i64>(), &data);
+        for p in [1usize, 2, 5, 8] {
+            let chunks = blocks(&data, p);
+            let outcome = Runtime::new(p).run(|comm| {
+                // Two reductions in flight at once, completed in reverse
+                // issue order.
+                let mut rsum = ireduce_all(comm, sum::<i64>(), &chunks[comm.rank()]);
+                let mut rmax = ireduce_all(comm, max::<i64>(), &chunks[comm.rank()]);
+                let vmax = rmax.wait().unwrap();
+                let vsum = rsum.wait().unwrap();
+                (vsum, vmax)
+            });
+            assert_eq!(
+                outcome.results,
+                vec![(expected_sum, expected_max); p],
+                "p={p}"
+            );
         }
     }
 

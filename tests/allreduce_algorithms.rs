@@ -271,3 +271,93 @@ fn crossover_ring_beats_reduce_bcast_at_64kib_p8() {
     let t_rb = measured(false);
     assert!(t_ring < t_rb, "measured: ring={t_ring} reduce+bcast={t_rb}");
 }
+
+#[test]
+fn nonblocking_allreduce_moves_the_identical_traffic_as_blocking() {
+    // The refactor's invariant: blocking allreduce is `iallreduce` +
+    // wait over the *same* schedule implementation, so the two variants
+    // must move bit-identical message and byte totals for every
+    // schedule the selector can route to (reduce+bcast at small states,
+    // recursive doubling in the middle, reduce-scatter+allgather via
+    // the splittable path at the large end).
+    let wire = |v: &Vec<u64>| v.len() * 8;
+    let add = |mut a: Vec<u64>, b: Vec<u64>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
+    for p in [2usize, 3, 8, 16] {
+        for bytes in [8usize, 64 << 10] {
+            let run = |nonblocking: bool| {
+                Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank() as u64; bytes / 8];
+                    if nonblocking {
+                        let mut req = comm.iallreduce(state, true, wire, add);
+                        req.wait().expect("transport alive")
+                    } else {
+                        comm.allreduce(state, true, wire, add)
+                    }
+                })
+            };
+            let blocking = run(false);
+            let requests = run(true);
+            assert_eq!(blocking.results, requests.results, "results, p={p} bytes={bytes}");
+            assert_eq!(
+                blocking.stats.messages, requests.stats.messages,
+                "messages, p={p} bytes={bytes}"
+            );
+            assert_eq!(
+                blocking.stats.bytes, requests.stats.bytes,
+                "bytes, p={p} bytes={bytes}"
+            );
+            for algo in AllreduceAlgorithm::ALL {
+                assert_eq!(
+                    blocking.stats.allreduce_algorithm_calls(algo),
+                    requests.stats.allreduce_algorithm_calls(algo),
+                    "algorithm counter {algo:?}, p={p} bytes={bytes}"
+                );
+            }
+
+            let run_splittable = |nonblocking: bool| {
+                Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank() as u64; bytes / 8];
+                    if nonblocking {
+                        let mut req = comm.iallreduce_splittable(
+                            state,
+                            true,
+                            split_vec_segments,
+                            unsplit_vec_segments,
+                            wire,
+                            add,
+                        );
+                        req.wait().expect("transport alive")
+                    } else {
+                        comm.allreduce_splittable(
+                            state,
+                            true,
+                            split_vec_segments,
+                            unsplit_vec_segments,
+                            wire,
+                            add,
+                        )
+                    }
+                })
+            };
+            let blocking = run_splittable(false);
+            let requests = run_splittable(true);
+            assert_eq!(
+                blocking.results, requests.results,
+                "splittable results, p={p} bytes={bytes}"
+            );
+            assert_eq!(
+                blocking.stats.messages, requests.stats.messages,
+                "splittable messages, p={p} bytes={bytes}"
+            );
+            assert_eq!(
+                blocking.stats.bytes, requests.stats.bytes,
+                "splittable bytes, p={p} bytes={bytes}"
+            );
+        }
+    }
+}

@@ -397,3 +397,58 @@ fn default_call_shapes_stay_on_recursive_doubling() {
         expect += block.keys.len() as u64;
     }
 }
+
+#[test]
+fn nonblocking_scans_move_the_identical_traffic_as_blocking() {
+    // Blocking scans are the same schedule implementations driven on
+    // the stack, so `iscan_inclusive`/`iscan_exclusive` + wait must move
+    // bit-identical message and byte totals — at small states (shifted
+    // recursive doubling) and large ones (the binomial sweeps).
+    let wire = |v: &Vec<i64>| v.len() * 8;
+    let add = |mut a: Vec<i64>, b: Vec<i64>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
+    for p in [2usize, 5, 16] {
+        for bytes in [8usize, 64 << 10] {
+            let run = |nonblocking: bool| {
+                Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank() as i64 + 1; bytes / 8];
+                    if nonblocking {
+                        let mut inc = comm.iscan_inclusive(state.clone(), wire, add);
+                        let mut exc = comm.iscan_exclusive(state, Vec::new, wire, add);
+                        (
+                            inc.wait().expect("transport alive"),
+                            exc.wait().expect("transport alive"),
+                        )
+                    } else {
+                        (
+                            comm.scan_inclusive(state.clone(), wire, add),
+                            comm.scan_exclusive(state, Vec::new, wire, add),
+                        )
+                    }
+                })
+            };
+            let blocking = run(false);
+            let requests = run(true);
+            assert_eq!(blocking.results, requests.results, "results, p={p} bytes={bytes}");
+            assert_eq!(
+                blocking.stats.messages, requests.stats.messages,
+                "messages, p={p} bytes={bytes}"
+            );
+            assert_eq!(
+                blocking.stats.bytes, requests.stats.bytes,
+                "bytes, p={p} bytes={bytes}"
+            );
+            for algo in ScanAlgorithm::ALL {
+                assert_eq!(
+                    blocking.stats.scan_algorithm_calls(algo),
+                    requests.stats.scan_algorithm_calls(algo),
+                    "algorithm counter {algo:?}, p={p} bytes={bytes}"
+                );
+            }
+        }
+    }
+}
