@@ -1,0 +1,237 @@
+//! Experiment TXT-SELECTOR-TUNING: selector accuracy off powers of two.
+//!
+//! Sweeps non-power-of-two-heavy rank counts (6, 8, 12, 16, 24) × state
+//! size over the four fixed allreduce schedules the runtime knows —
+//! reduce+bcast, recursive doubling, the circulant reduce-scatter +
+//! allgather (the default RSAG family), and the ring RSAG baseline —
+//! and reports each modeled time alongside the selector-routed run, the
+//! fixed-model pick, and the pick a measured α–β–γ calibration would
+//! make (`CostSource::Measured` after `calibrate_cost_model`).
+//!
+//! Two verdict lines check the acceptance criteria of the cost-model
+//! bugfix this experiment records:
+//!
+//! * `selector-within-5pct` — the selector-routed run is within 5% of
+//!   the best fixed schedule at every swept point;
+//! * `circulant-beats-ring` — the ⌈log₂p⌉-round circulant schedule beats
+//!   the (p−1)-round ring off powers of two (p = 6, 12) for states of
+//!   64 KiB and up.
+//!
+//! The measured picks come from host wall-clock probes, so they may
+//! legitimately differ from the fixed picks (the host is not the paper's
+//! 2006 cluster); they are reported for inspection, not gated.
+//!
+//! Usage: ablation_selector_tuning [--procs 6,8,12,16,24] [--csv]
+//! Env:   GV_BENCH_QUICK=1 shrinks the sweep for smoke runs.
+
+use gv_bench::table::{has_flag, parallel_time, parse_procs, timed_phase};
+use gv_core::split::{split_vec_segments, unsplit_vec_segments};
+use gv_msgpass::{AllreduceAlgorithm, CostModel, CostSource, PairClass, Runtime};
+
+/// Fixed schedules swept per cell, plus the selector-routed entry.
+#[derive(Clone, Copy, PartialEq)]
+enum Schedule {
+    Selector,
+    ReduceBcast,
+    RecursiveDoubling,
+    Circulant,
+    Ring,
+}
+
+const FIXED: [Schedule; 4] = [
+    Schedule::ReduceBcast,
+    Schedule::RecursiveDoubling,
+    Schedule::Circulant,
+    Schedule::Ring,
+];
+
+fn measure(p: usize, bytes: usize, schedule: Schedule) -> f64 {
+    let outcome = Runtime::new(p).run(move |comm| {
+        let state = vec![1u64; bytes / 8];
+        let wire = |v: &Vec<u64>| v.len() * 8;
+        let add = |mut a: Vec<u64>, b: Vec<u64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        };
+        let (_, dt) = timed_phase(comm, |c| match schedule {
+            Schedule::Selector => {
+                c.allreduce_splittable(
+                    state.clone(),
+                    true,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+            }
+            Schedule::ReduceBcast => {
+                c.allreduce_reduce_bcast(state.clone(), true, wire, add);
+            }
+            Schedule::RecursiveDoubling => {
+                c.allreduce_recursive_doubling(state.clone(), wire, add);
+            }
+            Schedule::Circulant => {
+                c.allreduce_reduce_scatter(
+                    state.clone(),
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+            }
+            Schedule::Ring => {
+                c.allreduce_reduce_scatter_ring(
+                    state.clone(),
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+            }
+        });
+        dt
+    });
+    parallel_time(&outcome.results)
+}
+
+/// One calibrated run per rank count: the measured-model pick for each
+/// state size, plus the published calibration snapshot for display.
+fn measured_picks(
+    p: usize,
+    sizes: &[usize],
+    rounds: usize,
+) -> (Vec<AllreduceAlgorithm>, gv_msgpass::CalibrationSnapshot) {
+    let sizes = sizes.to_vec();
+    let outcome = Runtime::new(p)
+        .cost_source(CostSource::Measured)
+        .run(move |comm| {
+            comm.calibrate_cost_model(rounds);
+            sizes
+                .iter()
+                .map(|&bytes| comm.select_allreduce_algorithm(bytes, true, true))
+                .collect::<Vec<_>>()
+        });
+    (outcome.results[0].clone(), outcome.calibration)
+}
+
+fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else {
+        format!("{} KiB", bytes >> 10)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+    let quick = std::env::var("GV_BENCH_QUICK").is_ok_and(|v| v != "0");
+
+    let default_procs = if quick { vec![6, 12] } else { vec![6, 8, 12, 16, 24] };
+    let procs = if args.iter().any(|a| a == "--procs") {
+        parse_procs(&args)
+    } else {
+        default_procs
+    };
+    let sizes: Vec<usize> = if quick {
+        vec![4 << 10, 64 << 10]
+    } else {
+        vec![1 << 10, 4 << 10, 64 << 10, 256 << 10]
+    };
+    let rounds = if quick { 2 } else { 4 };
+
+    if csv {
+        println!(
+            "procs,bytes,selector_seconds,reduce_bcast_seconds,recursive_doubling_seconds,\
+             circulant_seconds,ring_seconds,fixed_pick,measured_pick"
+        );
+    } else {
+        println!("TXT-SELECTOR-TUNING — allreduce selector off powers of two, modeled time\n");
+        println!(
+            "  {:>5} | {:>7} | {:>12} | {:>12} | {:>12} | {:>12} | {:>12} | {:<13} | measured",
+            "p", "size", "selector", "reduce+bcast", "rec-doubling", "circulant", "ring", "fixed pick"
+        );
+    }
+
+    // Worst selector-vs-best ratio over the sweep, and where it happened.
+    let mut worst_ratio = f64::NEG_INFINITY;
+    let mut worst_at = (0usize, 0usize);
+    let mut circulant_ok = true;
+    let mut snapshots = Vec::new();
+
+    for &p in &procs {
+        let (picks, snapshot) = measured_picks(p, &sizes, rounds);
+        snapshots.push((p, snapshot));
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let t_sel = measure(p, bytes, Schedule::Selector);
+            let fixed: Vec<f64> = FIXED.iter().map(|&s| measure(p, bytes, s)).collect();
+            let (t_rb, t_rd, t_circ, t_ring) = (fixed[0], fixed[1], fixed[2], fixed[3]);
+            let best = fixed.iter().cloned().fold(f64::INFINITY, f64::min);
+            let ratio = t_sel / best;
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                worst_at = (p, bytes);
+            }
+            if !p.is_power_of_two() && bytes >= 64 << 10 && t_circ >= t_ring {
+                circulant_ok = false;
+            }
+            let cost = CostModel::default();
+            let fixed_pick = AllreduceAlgorithm::select(&cost, p, bytes, true, true);
+            if csv {
+                println!(
+                    "{p},{bytes},{t_sel:.9},{t_rb:.9},{t_rd:.9},{t_circ:.9},{t_ring:.9},{},{}",
+                    fixed_pick.name(),
+                    picks[i].name()
+                );
+            } else {
+                println!(
+                    "  {:>5} | {:>7} | {:>9.1} µs | {:>9.1} µs | {:>9.1} µs | {:>9.1} µs | {:>9.1} µs | {:<13} | {}",
+                    p,
+                    fmt_size(bytes),
+                    t_sel * 1e6,
+                    t_rb * 1e6,
+                    t_rd * 1e6,
+                    t_circ * 1e6,
+                    t_ring * 1e6,
+                    fixed_pick.name(),
+                    picks[i].name()
+                );
+            }
+        }
+    }
+
+    if !csv {
+        println!("\n  measured α–β–γ calibration (host wall clock, min-of-burst probes):");
+        for (p, snap) in &snapshots {
+            let warm = if snap.is_warm() { "warm" } else { "cold" };
+            print!("  p={p:>2} [{warm}] γ={:.2e} s/op", snap.gamma);
+            for class in PairClass::ALL {
+                let c = snap.class(class);
+                print!(
+                    "  {}: α={:.2e} s, β={:.2e} s/B ({} samples)",
+                    class.name(),
+                    c.alpha,
+                    c.beta,
+                    c.samples
+                );
+            }
+            println!();
+        }
+        println!();
+    }
+
+    let within = worst_ratio <= 1.05;
+    println!(
+        "VERDICT selector-within-5pct: {} (worst selector/best = {:.4} at p={} {})",
+        if within { "PASS" } else { "FAIL" },
+        worst_ratio,
+        worst_at.0,
+        fmt_size(worst_at.1)
+    );
+    println!(
+        "VERDICT circulant-beats-ring (p∉2^k, ≥64 KiB): {}",
+        if circulant_ok { "PASS" } else { "FAIL" }
+    );
+}

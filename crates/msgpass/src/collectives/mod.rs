@@ -52,3 +52,8 @@ pub(crate) const TAG_ALLGATHER_RING: Tag = RESERVED_TAG_BASE + 0xA00;
 pub(crate) const TAG_SCAN_UP: Tag = RESERVED_TAG_BASE + 0xB00;
 pub(crate) const TAG_SCAN_DOWN: Tag = RESERVED_TAG_BASE + 0xC00;
 pub(crate) const TAG_SCAN_CHAIN: Tag = RESERVED_TAG_BASE + 0xD00;
+pub(crate) const TAG_CALIBRATE: Tag = RESERVED_TAG_BASE + 0xE00;
+pub(crate) const TAG_REDUCE_SCATTER_CIRC: Tag = RESERVED_TAG_BASE + 0xF00;
+// The salt occupies bits 12–23, so two bases may share the 0xF00 block as
+// long as they stay distinct below it.
+pub(crate) const TAG_ALLGATHER_CIRC: Tag = RESERVED_TAG_BASE + 0xF80;

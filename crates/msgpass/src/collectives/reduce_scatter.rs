@@ -1,25 +1,44 @@
-//! Ring reduce-scatter, ring allgather, and their composition into the
+//! Reduce-scatter, allgather, and their composition into the
 //! Rabenseifner-style bandwidth-optimal allreduce.
 //!
-//! Both rings run `p − 1` pipelined steps in which every rank sends one
-//! *segment* (≈ `n/p` bytes) to its right neighbor and receives one from
-//! its left, so the composed allreduce moves `2(p−1)·n/p` bytes per rank
-//! versus the `≈ 2⌈log₂p⌉·n` of whole-state schedules — the large-state
-//! winner under the α–β model (Träff, *Optimal, Non-pipelined
-//! Reduce-scatter and Allreduce Algorithms*).
+//! Two schedule families live here:
 //!
-//! The price is a correctness precondition: segment `j` is combined in
-//! rotated ring order `j+1, j+2, …, p−1, 0, …, j`, a different rank order
-//! for every segment, so the operator **must be commutative**, and the
-//! caller must be able to split its state into `p` independently
-//! combinable segments (`gv_core::split::SplittableState`). The selection
-//! policy in [`super::select`] enforces both.
+//! * **Circulant** (the default, after Träff, *Optimal, Non-pipelined
+//!   Reduce-scatter and Allreduce Algorithms*): `q = ⌈log₂p⌉` rounds for
+//!   *any* p. In reduce-scatter round `k` (counting `q−1` down to `0`),
+//!   rank `r` ships its partials of the `min(2^{k+1}, p) − 2^k` blocks
+//!   `{(r + 2^k + i) mod p}` to rank `(r + 2^k) mod p` and combines the
+//!   matching blocks `{(r + i) mod p}` arriving from `(r − 2^k) mod p`;
+//!   summed over the rounds each rank ships its `p − 1` foreign blocks
+//!   exactly once, so a phase costs `q·α + (p−1)·β·s` — strictly fewer
+//!   latencies than the ring's `p − 1` whenever `p > 2`, and no
+//!   degradation off powers of two. The allgather is the same round
+//!   structure time-reversed (a Bruck dissemination).
+//! * **Ring**: `p − 1` neighbor steps of one block each, `(p−1)·(α+βs)`
+//!   per phase. Kept as the explicit baseline
+//!   ([`Comm::allreduce_reduce_scatter_ring`], [`Comm::allgather_ring`])
+//!   that the `ablation_selector_tuning` harness measures the circulant
+//!   schedule against.
 //!
-//! Both rings are resumable schedules: each step's send goes out with the
-//! previous step's combine, and the left-neighbor receive is the only
+//! The composed allreduce moves `2(p−1)·n/p` bytes per rank either way —
+//! the large-state winner under the α–β model versus the `≈ 2⌈log₂p⌉·n`
+//! of whole-state schedules.
+//!
+//! The price is a correctness precondition: both families combine each
+//! block in a data-dependent rank order (rotated ring order for the ring,
+//! power-of-two strides for the circulant rounds), so the operator
+//! **must be commutative**, and the caller must be able to split its
+//! state into `p` independently combinable segments
+//! (`gv_core::split::SplittableState`). The selection policy in
+//! [`super::select`] enforces both.
+//!
+//! Every schedule here is resumable: sends go out eagerly with the
+//! previous round's combine, and the matching receive is the only
 //! suspension point.
 
-use super::{TAG_ALLGATHER_RING, TAG_REDUCE_SCATTER};
+use super::{
+    TAG_ALLGATHER_CIRC, TAG_ALLGATHER_RING, TAG_REDUCE_SCATTER, TAG_REDUCE_SCATTER_CIRC,
+};
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgorithm;
 use crate::mailbox::ShutdownError;
@@ -204,16 +223,245 @@ where
     }
 }
 
+/// Rounds of the circulant schedules: `⌈log₂p⌉`.
+fn circulant_rounds(p: usize) -> u32 {
+    p.next_power_of_two().trailing_zeros()
+}
+
+/// Blocks moved in circulant round `k`: `min(2^{k+1}, p) − 2^k`.
+fn circulant_count(p: usize, k: u32) -> usize {
+    (1usize << (k + 1)).min(p) - (1usize << k)
+}
+
+/// Resumable circulant reduce-scatter (Träff's non-power-of-two round
+/// structure; see the module docs). Rounds count `q−1` down to `0`;
+/// entering round `k` rank `r` holds partials of the
+/// `min(2^{k+1}, p)` blocks `{(r+i) mod p}`, ships the upper half to
+/// `(r + 2^k) mod p`, and folds the arrivals from `(r − 2^k) mod p` into
+/// the lower half. After round `0` block `r` is fully combined at rank
+/// `r` — every contribution having travelled exactly once.
+pub(crate) struct ReduceScatterCirculantSchedule<T, B, F> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    slots: Vec<Option<T>>,
+    /// The round whose arrivals we are waiting for (counts down).
+    round: u32,
+    finished: bool,
+}
+
+impl<T, B, F> ReduceScatterCirculantSchedule<T, B, F>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    /// # Panics
+    /// Panics unless `segments.len() == comm.size()`.
+    pub(crate) fn new(comm: Comm, segments: Vec<T>, salt: Tag, bytes_of: B, combine: F) -> Self {
+        let p = comm.size();
+        assert_eq!(
+            segments.len(),
+            p,
+            "reduce_scatter_block needs exactly one segment per rank"
+        );
+        let slots: Vec<Option<T>> = segments.into_iter().map(Some).collect();
+        let mut schedule = ReduceScatterCirculantSchedule {
+            comm,
+            tag: TAG_REDUCE_SCATTER_CIRC + salt,
+            bytes_of,
+            combine,
+            slots,
+            round: 0,
+            finished: p == 1,
+        };
+        if !schedule.finished {
+            schedule.round = circulant_rounds(p) - 1;
+            schedule.send_round(schedule.round);
+        }
+        schedule
+    }
+
+    /// Ships this rank's partials of round `k`'s upper-half blocks. The
+    /// blocks leave the slot table for good: their contributions now
+    /// travel with the destination rank (disjointness is what makes each
+    /// contribution arrive exactly once).
+    fn send_round(&mut self, k: u32) {
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let stride = 1usize << k;
+        let count = circulant_count(p, k);
+        let mut payload = Vec::with_capacity(count);
+        let mut bytes = 0;
+        for i in 0..count {
+            let block = (r + stride + i) % p;
+            let partial = self.slots[block].take().expect("upper-half block is live");
+            bytes += (self.bytes_of)(&partial);
+            payload.push(partial);
+        }
+        self.comm
+            .send_with_bytes((r + stride) % p, self.tag, payload, bytes);
+    }
+
+    fn poll_rounds(&mut self) -> Result<bool, ShutdownError> {
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        while !self.finished {
+            let k = self.round;
+            let stride = 1usize << k;
+            let src = (r + p - stride) % p;
+            let Some(incoming) = self.comm.try_recv_schedule::<Vec<T>>(src, self.tag)? else {
+                return Ok(false);
+            };
+            debug_assert_eq!(incoming.len(), circulant_count(p, k));
+            for (i, partial) in incoming.into_iter().enumerate() {
+                let block = (r + i) % p;
+                let own = self.slots[block].take().expect("lower-half block is live");
+                self.slots[block] = Some((self.combine)(partial, own));
+            }
+            if k == 0 {
+                self.finished = true;
+            } else {
+                self.round = k - 1;
+                self.send_round(self.round);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl<T, B, F> Schedule for ReduceScatterCirculantSchedule<T, B, F>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        if !self.poll_rounds()? {
+            return Ok(None);
+        }
+        let r = self.comm.rank();
+        Ok(Some(
+            self.slots[r].take().expect("result ready exactly once"),
+        ))
+    }
+}
+
+/// Resumable circulant (Bruck) allgather — the reduce-scatter rounds
+/// time-reversed. Rounds count `0` up to `q−1`; entering round `k` rank
+/// `r` holds blocks `{(r+i) mod p : i < 2^k}`, sends the first
+/// `min(2^{k+1}, p) − 2^k` of them to `(r − 2^k) mod p`, and receives
+/// the corresponding far blocks from `(r + 2^k) mod p`.
+pub(crate) struct AllgatherCirculantSchedule<T, B> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    slots: Vec<Option<T>>,
+    /// The round whose arrivals we are waiting for (counts up).
+    round: u32,
+}
+
+impl<T, B> AllgatherCirculantSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        slots[r] = Some(value);
+        let schedule = AllgatherCirculantSchedule {
+            comm,
+            tag: TAG_ALLGATHER_CIRC + salt,
+            bytes_of,
+            slots,
+            round: 0,
+        };
+        if p > 1 {
+            schedule.send_round(0);
+        }
+        schedule
+    }
+
+    /// Ships clones of round `k`'s blocks (unlike the reduce-scatter this
+    /// rank keeps what it forwards — every rank needs every block).
+    fn send_round(&self, k: u32) {
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let stride = 1usize << k;
+        let count = circulant_count(p, k);
+        let mut payload = Vec::with_capacity(count);
+        let mut bytes = 0;
+        for i in 0..count {
+            let block = self.slots[(r + i) % p]
+                .as_ref()
+                .expect("held block is live");
+            bytes += (self.bytes_of)(block);
+            payload.push(block.clone());
+        }
+        self.comm
+            .send_with_bytes((r + p - stride) % p, self.tag, payload, bytes);
+    }
+}
+
+impl<T, B> Schedule for AllgatherCirculantSchedule<T, B>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+{
+    type Output = Vec<T>;
+
+    fn poll(&mut self) -> Result<Option<Vec<T>>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let q = circulant_rounds(p);
+        while self.round < q {
+            let k = self.round;
+            let stride = 1usize << k;
+            let src = (r + stride) % p;
+            let Some(incoming) = self.comm.try_recv_schedule::<Vec<T>>(src, self.tag)? else {
+                return Ok(None);
+            };
+            debug_assert_eq!(incoming.len(), circulant_count(p, k));
+            for (i, block) in incoming.into_iter().enumerate() {
+                let slot = &mut self.slots[(r + stride + i) % p];
+                debug_assert!(slot.is_none(), "each block arrives exactly once");
+                *slot = Some(block);
+            }
+            self.round += 1;
+            if self.round < q {
+                self.send_round(self.round);
+            }
+        }
+        Ok(Some(
+            self.slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("every block present after q rounds"))
+                .collect(),
+        ))
+    }
+}
+
 enum RsagPhase<T, B, F> {
-    ReduceScatter(ReduceScatterRingSchedule<T, B, F>),
-    Allgather(AllgatherRingSchedule<T, B>),
+    ReduceScatter(ReduceScatterCirculantSchedule<T, B, F>),
+    Allgather(AllgatherCirculantSchedule<T, B>),
+    RingReduceScatter(ReduceScatterRingSchedule<T, B, F>),
+    RingAllgather(AllgatherRingSchedule<T, B>),
     /// `p == 1`: the value passes through untouched.
     Trivial(Option<T>),
 }
 
-/// Allreduce as ring reduce-scatter followed by ring allgather, plus the
-/// caller's local `split`/`unsplit`. Both rings share the collective's
-/// tag salt; their distinct base tags keep the phases apart.
+/// Allreduce as reduce-scatter followed by allgather, plus the caller's
+/// local `split`/`unsplit`. Circulant phases by default
+/// ([`new`](Self::new)); ring phases as the measurable baseline
+/// ([`new_ring`](Self::new_ring)). The two phases share the collective's
+/// tag salt; their distinct base tags keep them apart.
 pub(crate) struct AllreduceRsagSchedule<T, B, F, U> {
     comm: Comm,
     salt: Tag,
@@ -242,7 +490,37 @@ where
         let phase = if p == 1 {
             RsagPhase::Trivial(Some(value))
         } else {
-            RsagPhase::ReduceScatter(ReduceScatterRingSchedule::new(
+            RsagPhase::ReduceScatter(ReduceScatterCirculantSchedule::new(
+                comm.clone_handle(),
+                split(value, p),
+                salt,
+                bytes_of.clone(),
+                combine,
+            ))
+        };
+        AllreduceRsagSchedule {
+            comm,
+            salt,
+            bytes_of,
+            unsplit: Some(unsplit),
+            phase,
+        }
+    }
+
+    pub(crate) fn new_ring(
+        comm: Comm,
+        value: T,
+        salt: Tag,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: U,
+        bytes_of: B,
+        combine: F,
+    ) -> Self {
+        let p = comm.size();
+        let phase = if p == 1 {
+            RsagPhase::Trivial(Some(value))
+        } else {
+            RsagPhase::RingReduceScatter(ReduceScatterRingSchedule::new(
                 comm.clone_handle(),
                 split(value, p),
                 salt,
@@ -271,26 +549,43 @@ where
 
     fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
         let _guard = self.comm.enter_collective();
-        if let RsagPhase::Trivial(value) = &mut self.phase {
-            return Ok(Some(value.take().expect("result ready exactly once")));
-        }
-        if let RsagPhase::ReduceScatter(rs) = &mut self.phase {
-            let Some(own) = rs.poll()? else { return Ok(None) };
-            self.phase = RsagPhase::Allgather(AllgatherRingSchedule::new(
-                self.comm.clone_handle(),
-                own,
-                self.salt,
-                self.bytes_of.clone(),
-            ));
-        }
         match &mut self.phase {
+            RsagPhase::Trivial(value) => {
+                return Ok(Some(value.take().expect("result ready exactly once")));
+            }
+            RsagPhase::ReduceScatter(rs) => {
+                let Some(own) = rs.poll()? else { return Ok(None) };
+                self.phase = RsagPhase::Allgather(AllgatherCirculantSchedule::new(
+                    self.comm.clone_handle(),
+                    own,
+                    self.salt,
+                    self.bytes_of.clone(),
+                ));
+            }
+            RsagPhase::RingReduceScatter(rs) => {
+                let Some(own) = rs.poll()? else { return Ok(None) };
+                self.phase = RsagPhase::RingAllgather(AllgatherRingSchedule::new(
+                    self.comm.clone_handle(),
+                    own,
+                    self.salt,
+                    self.bytes_of.clone(),
+                ));
+            }
+            _ => {}
+        }
+        let all = match &mut self.phase {
             RsagPhase::Allgather(ag) => {
                 let Some(all) = ag.poll()? else { return Ok(None) };
-                let unsplit = self.unsplit.take().expect("unsplit runs exactly once");
-                Ok(Some(unsplit(all)))
+                all
+            }
+            RsagPhase::RingAllgather(ag) => {
+                let Some(all) = ag.poll()? else { return Ok(None) };
+                all
             }
             _ => unreachable!("earlier phases handled above"),
-        }
+        };
+        let unsplit = self.unsplit.take().expect("unsplit runs exactly once");
+        Ok(Some(unsplit(all)))
     }
 }
 
@@ -299,7 +594,9 @@ impl Comm {
     /// `p` segments (segment `j` destined for rank `j`) and ends with
     /// the across-ranks combination of its own segment.
     ///
-    /// Combines in rotated ring order — the operator must be commutative.
+    /// Runs the circulant schedule — `⌈log₂p⌉` rounds at any `p` (see
+    /// the module docs). Blocks combine in power-of-two stride order, so
+    /// the operator must be commutative.
     ///
     /// # Panics
     /// Panics unless `segments.len() == self.size()`.
@@ -313,7 +610,13 @@ impl Comm {
         let salt = self.next_collective_salt();
         let schedule = {
             let _guard = self.enter_collective();
-            ReduceScatterRingSchedule::new(self.clone_handle(), segments, salt, bytes_of, combine)
+            ReduceScatterCirculantSchedule::new(
+                self.clone_handle(),
+                segments,
+                salt,
+                bytes_of,
+                combine,
+            )
         };
         crate::request::drive(self, schedule)
     }
@@ -329,7 +632,13 @@ impl Comm {
         let salt = self.next_collective_salt();
         let schedule = {
             let _guard = self.enter_collective();
-            ReduceScatterRingSchedule::new(self.clone_handle(), segments, salt, bytes_of, combine)
+            ReduceScatterCirculantSchedule::new(
+                self.clone_handle(),
+                segments,
+                salt,
+                bytes_of,
+                combine,
+            )
         };
         Request::register(self, schedule)
     }
@@ -351,9 +660,10 @@ impl Comm {
         crate::request::drive(self, schedule)
     }
 
-    /// Allreduce by reduce-scatter + allgather. The caller supplies the
-    /// state already split into `p` segments (`split` runs locally) and a
-    /// way to reassemble the combined segments (`unsplit`).
+    /// Allreduce by circulant reduce-scatter + allgather. The caller
+    /// supplies the state already split into `p` segments (`split` runs
+    /// locally) and a way to reassemble the combined segments
+    /// (`unsplit`).
     ///
     /// Requires a commutative operator (see the module docs); prefer
     /// [`allreduce_splittable`](Comm::allreduce_splittable), which checks
@@ -385,6 +695,38 @@ impl Comm {
         };
         crate::request::drive(self, schedule)
     }
+
+    /// [`allreduce_reduce_scatter`](Self::allreduce_reduce_scatter) over
+    /// the legacy ring phases — `p − 1` neighbor steps per phase instead
+    /// of the circulant `⌈log₂p⌉` rounds. Not selected by any policy;
+    /// kept as the baseline the `ablation_selector_tuning` harness
+    /// measures the circulant schedule against.
+    pub fn allreduce_reduce_scatter_ring<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize + Clone,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            AllreduceRsagSchedule::new_ring(
+                self.clone_handle(),
+                value,
+                salt,
+                split,
+                unsplit,
+                bytes_of,
+                combine,
+            )
+        };
+        crate::request::drive(self, schedule)
+    }
 }
 
 #[cfg(test)]
@@ -394,7 +736,7 @@ mod tests {
 
     #[test]
     fn reduce_scatter_leaves_each_rank_its_combined_segment() {
-        for p in [1usize, 2, 3, 4, 7, 8, 9] {
+        for p in [1usize, 2, 3, 4, 6, 7, 8, 9, 12, 13] {
             let outcome = Runtime::new(p).run(move |comm| {
                 let r = comm.rank() as u64;
                 // Rank r contributes value r·100 + j to segment j.
@@ -502,6 +844,87 @@ mod tests {
             "inner reduce-scatter not double-counted"
         );
         assert_eq!(outcome.stats.calls(CallKind::Allgather), 0);
+    }
+
+    #[test]
+    fn circulant_and_ring_allreduce_agree_at_any_rank_count() {
+        for p in [1usize, 2, 3, 5, 6, 8, 12] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let r = comm.rank() as u64;
+                let mine: Vec<u64> = (0..17).map(|i| r * 1000 + i).collect();
+                let add = |mut a: Vec<u64>, b: Vec<u64>| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                };
+                let circulant = comm.allreduce_reduce_scatter(
+                    mine.clone(),
+                    gv_core::split::split_vec_segments,
+                    gv_core::split::unsplit_vec_segments,
+                    |v: &Vec<u64>| v.len() * 8,
+                    add,
+                );
+                let ring = comm.allreduce_reduce_scatter_ring(
+                    mine,
+                    gv_core::split::split_vec_segments,
+                    gv_core::split::unsplit_vec_segments,
+                    |v: &Vec<u64>| v.len() * 8,
+                    add,
+                );
+                (circulant, ring)
+            });
+            for (rank, (circulant, ring)) in outcome.results.into_iter().enumerate() {
+                assert_eq!(circulant, ring, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_beats_ring_off_powers_of_two_for_large_states() {
+        // The acceptance bar of this schedule: at p = 6 and 12 with a
+        // 64 KiB state the circulant rounds (⌈log₂p⌉ latencies per phase)
+        // must model faster than the ring's p − 1 — the exact regime where
+        // the old fallback degraded.
+        for p in [6usize, 12] {
+            let time = |ring: bool| {
+                Runtime::new(p)
+                    .run(move |comm| {
+                        let state = vec![0u64; 8 << 10]; // 64 KiB
+                        let wire = |v: &Vec<u64>| v.len() * 8;
+                        let add = |mut a: Vec<u64>, b: Vec<u64>| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            a
+                        };
+                        if ring {
+                            comm.allreduce_reduce_scatter_ring(
+                                state,
+                                gv_core::split::split_vec_segments,
+                                gv_core::split::unsplit_vec_segments,
+                                wire,
+                                add,
+                            );
+                        } else {
+                            comm.allreduce_reduce_scatter(
+                                state,
+                                gv_core::split::split_vec_segments,
+                                gv_core::split::unsplit_vec_segments,
+                                wire,
+                                add,
+                            );
+                        }
+                    })
+                    .modeled_seconds
+            };
+            let t_circulant = time(false);
+            let t_ring = time(true);
+            assert!(
+                t_circulant < t_ring,
+                "p={p}: circulant={t_circulant} ring={t_ring}"
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ use crate::stats::CallKind;
 
 impl Comm {
     /// Picks the cheapest eligible allreduce schedule for a state of
-    /// `wire_bytes` bytes under this communicator's cost model.
+    /// `wire_bytes` bytes under this communicator's *selection* cost
+    /// model ([`Comm::selection_cost_model`] — the fixed clock model by
+    /// default, the measured calibration under
+    /// [`CostSource::Measured`](crate::measured::CostSource::Measured)).
     /// `splittable` says whether the caller could run reduce-scatter +
     /// allgather at all (it also needs `commutative`).
     pub fn select_allreduce_algorithm(
@@ -55,7 +58,7 @@ impl Comm {
         splittable: bool,
     ) -> AllreduceAlgorithm {
         AllreduceAlgorithm::select(
-            &self.cost_model(),
+            &self.selection_cost_model(wire_bytes),
             self.size(),
             wire_bytes,
             commutative,
@@ -184,7 +187,12 @@ impl Comm {
     /// chain at all. There is no commutativity parameter: every scan
     /// schedule combines in rank order (see [`ScanAlgorithm::select`]).
     pub fn select_scan_algorithm(&self, wire_bytes: usize, splittable: bool) -> ScanAlgorithm {
-        ScanAlgorithm::select(&self.cost_model(), self.size(), wire_bytes, splittable)
+        ScanAlgorithm::select(
+            &self.selection_cost_model(wire_bytes),
+            self.size(),
+            wire_bytes,
+            splittable,
+        )
     }
 
     /// Inclusive scan with cost-driven schedule selection: rank `r`
@@ -440,8 +448,10 @@ impl Comm {
         let salt = self.next_collective_salt();
         match algo {
             ScanAlgorithm::PipelinedChain => {
+                // Same (deterministic, published) model the selector just
+                // priced from, so schedule and estimate always agree.
                 let segments =
-                    ScanAlgorithm::chain_segments(&self.cost_model(), self.size(), bytes);
+                    ScanAlgorithm::chain_segments(&self.selection_cost_model(bytes), self.size(), bytes);
                 let schedule = {
                     let _guard = self.enter_collective();
                     ScanChainSchedule::new(

@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::cost::CostModel;
 use crate::mailbox::{Mailbox, PeerSender, ShutdownError, Source, WaitState};
+use crate::measured::{Calibration, CalibrationSnapshot, CostSource, PairClass};
 use crate::message::{Packet, Tag};
 use crate::request::Engine;
 use crate::stats::{CallKind, Stats};
@@ -64,6 +65,11 @@ pub(crate) struct RankCore {
     pub(crate) peers: Vec<PeerSender>,
     pub(crate) clock: Cell<f64>,
     pub(crate) cost: CostModel,
+    /// Where schedule *selection* prices candidates (the virtual clock
+    /// always advances by `cost` above, so recordings stay comparable).
+    pub(crate) cost_source: CostSource,
+    /// Shared online α–β–γ estimates behind [`CostSource::Measured`].
+    pub(crate) calibration: Arc<Calibration>,
     pub(crate) stats: Arc<Stats>,
     pub(crate) registry: Arc<SplitRegistry>,
     pub(crate) aborted: Arc<AtomicBool>,
@@ -121,6 +127,8 @@ pub(crate) struct WorldInit {
     pub peers: Vec<PeerSender>,
     pub mailbox: Mailbox,
     pub cost: CostModel,
+    pub cost_source: CostSource,
+    pub calibration: Arc<Calibration>,
     pub stats: Arc<Stats>,
     pub registry: Arc<SplitRegistry>,
     pub aborted: Arc<AtomicBool>,
@@ -139,6 +147,8 @@ impl Comm {
                 peers: init.peers,
                 clock: Cell::new(0.0),
                 cost: init.cost,
+                cost_source: init.cost_source,
+                calibration: init.calibration,
                 stats: init.stats,
                 registry: init.registry,
                 aborted: init.aborted,
@@ -240,9 +250,165 @@ impl Comm {
         self.id
     }
 
-    /// The cost model in effect.
+    /// The cost model driving the virtual clock.
     pub fn cost_model(&self) -> CostModel {
         self.core.cost
+    }
+
+    /// Where schedule selection gets its cost model (see
+    /// [`selection_cost_model`](Self::selection_cost_model)).
+    pub fn cost_source(&self) -> CostSource {
+        self.core.cost_source
+    }
+
+    /// The cost model schedule *selection* prices candidates from, for a
+    /// `wire_bytes`-byte call.
+    ///
+    /// With the default [`CostSource::Fixed`] this is the clock model and
+    /// behavior is exactly the pre-calibration selector. Under
+    /// [`CostSource::Measured`] it is the published online estimate for
+    /// the pair class the bytes would travel (eager vs. queued), falling
+    /// back to the clock model while the warmup gate is closed. The
+    /// virtual clock itself always advances by
+    /// [`cost_model`](Self::cost_model) — the source changes *which*
+    /// schedule runs, never how a schedule is priced in the recordings.
+    pub fn selection_cost_model(&self, wire_bytes: usize) -> CostModel {
+        match self.core.cost_source {
+            CostSource::Fixed(model) => model,
+            CostSource::Measured => self
+                .core
+                .calibration
+                .model_for(wire_bytes, self.eager_threshold())
+                .unwrap_or(self.core.cost),
+        }
+    }
+
+    /// A point-in-time copy of the published calibration estimates.
+    pub fn calibration_snapshot(&self) -> CalibrationSnapshot {
+        self.core.calibration.snapshot()
+    }
+
+    /// Runs `rounds` rounds of α–β–γ probe exchanges and publishes the
+    /// resulting estimates (collective over this communicator).
+    ///
+    /// Each round, every rank times a black-boxed scalar loop (γ), and
+    /// each even/odd rank pair runs reduction-shaped ping-pongs — the
+    /// echoing side folds over the payload before replying, since on a
+    /// reduction's critical path every shipped byte is also combined —
+    /// at two payload sizes per pair class. The minimum one-way time over
+    /// the burst filters scheduler noise; α is the small-payload time and
+    /// β the size-differenced slope. Each burst is attributed to the
+    /// eager or queued class from the observed transport counter deltas,
+    /// not from the threshold alone.
+    ///
+    /// The publish step is bracketed by barriers with a single writer, so
+    /// the active estimates only move while every rank is quiescent —
+    /// the invariant that keeps measured selection deterministic across
+    /// ranks (see the `measured` module docs). Probe traffic is real
+    /// traffic: it shows up in the message/byte counters and advances
+    /// the virtual clock, which is one more reason the recording
+    /// harnesses keep [`CostSource::Fixed`].
+    pub fn calibrate_cost_model(&self, rounds: usize) {
+        use crate::collectives::TAG_CALIBRATE;
+        /// Ping-pongs per probe burst; the min filters scheduler noise.
+        const BURST: usize = 8;
+        /// Scalar accumulates per γ probe.
+        const GAMMA_OPS: u64 = 8192;
+
+        self.barrier();
+        let _guard = self.enter_collective();
+        let salt = self.next_collective_salt();
+        let tag = TAG_CALIBRATE + salt;
+        let p = self.size();
+        let r = self.rank();
+        let partner = if r.is_multiple_of(2) { r + 1 } else { r - 1 };
+        let threshold = self.eager_threshold();
+        let class_sizes = [
+            // Eager: both payloads at or below the threshold.
+            (64.min(threshold), threshold),
+            // Queued: both above, spanning enough bytes for a stable slope.
+            (2 * threshold, 64 * threshold),
+        ];
+        for _ in 0..rounds {
+            // γ probe: seconds per black-boxed scalar accumulate.
+            let started = std::time::Instant::now();
+            let mut acc = 0u64;
+            for i in 0..GAMMA_OPS {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+            self.core
+                .calibration
+                .record_gamma(started.elapsed().as_secs_f64() / GAMMA_OPS as f64);
+
+            for (small, large) in class_sizes {
+                // The transport counters are runtime-global, so bracket
+                // each class burst with a barrier: inside the window the
+                // only traffic is this burst's class, on every pair, and
+                // the delta attributes cleanly.
+                self.barrier();
+                let before = self.stats().snapshot().transport;
+                if partner >= p {
+                    continue; // odd rank count: the last rank only probes γ.
+                }
+                let t_small = self.probe_pingpong(partner, tag, small, BURST);
+                let t_large = self.probe_pingpong(partner, tag, large, BURST);
+                let delta = self.stats().snapshot().transport.since(&before);
+                // Attribute the burst to the path the packets actually
+                // took (observed, not assumed). A queued burst puts
+                // exactly 2·BURST queued sends per size-pair into the
+                // window, while an eager window contains no queued
+                // traffic at all (stray barrier wakeups are eager), so
+                // the absolute queued count separates the classes even
+                // when other pairs' traffic shares the global counters.
+                let class = if delta.queued_sends as usize >= 2 * BURST {
+                    PairClass::Queued
+                } else {
+                    PairClass::Eager
+                };
+                if r < partner && large > small {
+                    let beta = (t_large - t_small) / (large - small) as f64;
+                    let alpha = t_small - beta * small as f64;
+                    self.core.calibration.record_link(class, alpha, beta);
+                }
+            }
+        }
+        self.barrier();
+        if r == 0 {
+            self.core.calibration.publish();
+        }
+        self.barrier();
+    }
+
+    /// One probe burst against `partner`: the lower rank initiates and
+    /// returns its best (minimum) one-way wall time; the higher rank
+    /// echoes after folding over the payload and returns an unused
+    /// estimate. Both sides fold, keeping the pair in lockstep.
+    fn probe_pingpong(&self, partner: usize, tag: Tag, bytes: usize, burst: usize) -> f64 {
+        fn fold(payload: &[u8]) -> u64 {
+            let mut acc = 0u64;
+            for &b in payload {
+                acc = acc.wrapping_add(u64::from(std::hint::black_box(b)));
+            }
+            std::hint::black_box(acc)
+        }
+        let initiator = self.rank() < partner;
+        let payload = vec![0u8; bytes];
+        let mut best = f64::INFINITY;
+        for _ in 0..burst {
+            if initiator {
+                let started = std::time::Instant::now();
+                self.send_with_bytes(partner, tag, payload.clone(), bytes);
+                let echoed: Vec<u8> = self.recv(partner, tag);
+                fold(&echoed);
+                best = best.min(started.elapsed().as_secs_f64() / 2.0);
+            } else {
+                let probe: Vec<u8> = self.recv(partner, tag);
+                fold(&probe);
+                self.send_with_bytes(partner, tag, probe, bytes);
+            }
+        }
+        best
     }
 
     /// The shared statistics counters.

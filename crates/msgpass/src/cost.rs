@@ -77,6 +77,24 @@ impl Default for CostModel {
     }
 }
 
+/// Wire bytes of the *largest* segment when a `bytes`-byte splittable
+/// state is divided into `parts` per-rank segments.
+///
+/// Splitters (`gv_core::split::split_vec_segments`) split on whole
+/// elements, handing the first `n mod parts` segments one extra element —
+/// the paper's harnesses all carry 8-byte scalars, so segment sizes are
+/// modeled at 8-byte granularity. For non-power-of-two `parts` the extra
+/// element is what makes the largest segment, not the mean `⌈n/p⌉`, the
+/// critical-path price of segmented schedules.
+pub fn max_segment_bytes(bytes: usize, parts: usize) -> usize {
+    if parts <= 1 || bytes == 0 {
+        return bytes;
+    }
+    const ELEM: usize = 8;
+    let elems = bytes.div_ceil(ELEM);
+    (elems.div_ceil(parts) * ELEM).min(bytes)
+}
+
 /// The allreduce schedules the runtime can choose between.
 ///
 /// Selection is cost-driven: [`AllreduceAlgorithm::select`] evaluates the
@@ -94,12 +112,18 @@ pub enum AllreduceAlgorithm {
     /// compatibility baseline (and as the only rooted-reduce reuse path).
     ReduceBroadcast,
     /// Recursive doubling with a fold/unfold step for non-powers of two:
-    /// `(⌈log₂p⌉ + 2·[p not a power of two])(α + βn)`. Latency-optimal;
-    /// safe for non-commutative operators.
+    /// `(⌊log₂p⌋ + 2·[p not a power of two])(α + βn)`. The schedule folds
+    /// the p − 2^⌊log₂p⌋ extra ranks into the power-of-two core (one
+    /// round), exchanges over the core (⌊log₂p⌋ rounds), and unfolds (one
+    /// round) — so the non-power-of-two round count uses the *floor*, not
+    /// the ceiling. Latency-optimal; safe for non-commutative operators.
     RecursiveDoubling,
-    /// Ring reduce-scatter then ring allgather (Rabenseifner-style):
-    /// `2(p−1)(α + βn/p)`. Bandwidth-optimal for large states; requires
-    /// commutativity and a splittable state.
+    /// Circulant reduce-scatter then circulant allgather
+    /// (Rabenseifner-style phases with Träff's non-power-of-two round
+    /// structure): `2(⌈log₂p⌉·α + (p−1)·β·s_max)` where `s_max` is the
+    /// largest per-rank segment ([`max_segment_bytes`]). Bandwidth-optimal
+    /// for large states at *any* p; requires commutativity and a
+    /// splittable state.
     ReduceScatterAllgather,
 }
 
@@ -138,9 +162,16 @@ impl AllreduceAlgorithm {
                 (p.log2().floor() + extra) * hop
             }
             AllreduceAlgorithm::ReduceScatterAllgather => {
-                // Segments are ⌈n/p⌉ bytes; 2(p−1) pipelined ring steps.
-                let seg = bytes.div_ceil(ranks);
-                2.0 * (p - 1.0) * cost.transit(seg)
+                // Circulant phases: q = ⌈log₂p⌉ rounds each for any p, and
+                // across a phase every rank ships each of its p−1 foreign
+                // segments exactly once — q latencies plus (p−1) segments
+                // of bandwidth. Segments split on whole elements, so for
+                // non-power-of-two p the *largest* segment is the per-block
+                // price (the old ring formula's mean ⌈n/p⌉ under-priced
+                // the critical path off powers of two).
+                let q = ranks.next_power_of_two().trailing_zeros() as f64;
+                let seg = max_segment_bytes(bytes, ranks);
+                2.0 * (q * cost.alpha + (p - 1.0) * seg as f64 * cost.beta)
             }
         }
     }
@@ -363,7 +394,8 @@ mod tests {
     #[test]
     fn recursive_doubling_wins_small_states() {
         let m = CostModel::cluster_2006();
-        // 8 bytes at p=8: latency dominates; RS+AG pays 14 hops vs RD's 3.
+        // 8 bytes at p=8: latency dominates; RS+AG pays 2·3 rounds of
+        // latency vs RD's 3.
         assert_eq!(
             AllreduceAlgorithm::select(&m, 8, 8, true, true),
             AllreduceAlgorithm::RecursiveDoubling
@@ -466,6 +498,71 @@ mod tests {
         assert_eq!(ScanAlgorithm::chain_segments(&m, 64, 64 << 20), 64);
         // The free model must not divide by zero (NaN → 1 segment).
         assert_eq!(ScanAlgorithm::chain_segments(&CostModel::free(), 8, 1 << 20), 1);
+    }
+
+    #[test]
+    fn max_segment_rounds_up_to_whole_elements() {
+        // Even power-of-two split of 8-byte elements: exact.
+        assert_eq!(max_segment_bytes(64 << 10, 8), 8 << 10);
+        // 65536 B = 8192 elements over 6 ranks: ⌈8192/6⌉ = 1366 elements.
+        assert_eq!(max_segment_bytes(64 << 10, 6), 1366 * 8);
+        // 12 ranks: ⌈8192/12⌉ = 683 elements — vs. the mean ⌈65536/12⌉ =
+        // 5462 B the old formula priced.
+        assert_eq!(max_segment_bytes(64 << 10, 12), 683 * 8);
+        // Degenerate cases: one part or empty state pass through.
+        assert_eq!(max_segment_bytes(1 << 20, 1), 1 << 20);
+        assert_eq!(max_segment_bytes(0, 8), 0);
+        // A state smaller than one element per rank clamps to the state.
+        assert_eq!(max_segment_bytes(8, 4), 8);
+    }
+
+    #[test]
+    fn recursive_doubling_estimate_matches_real_round_count() {
+        // With β = γ = 0 every hop costs exactly α, so the modeled time of
+        // a run is (critical-path rounds)·α: the estimate must agree with
+        // what the schedule actually executes, for any p.
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
+        for p in 2..=17usize {
+            let expected_rounds = p.ilog2() as f64
+                + if p.is_power_of_two() { 0.0 } else { 2.0 };
+            let est = AllreduceAlgorithm::RecursiveDoubling.estimated_seconds(&m, p, 8);
+            assert!(
+                (est - expected_rounds).abs() < 1e-9,
+                "p={p}: estimate {est} rounds, schedule runs {expected_rounds}"
+            );
+            let outcome = crate::runtime::Runtime::new(p).cost_model(m).run(|comm| {
+                comm.allreduce_recursive_doubling(comm.rank() as u64, |_| 8, |a, b| a + b)
+            });
+            assert!(
+                (outcome.modeled_seconds - expected_rounds).abs() < 1e-9,
+                "p={p}: modeled {} rounds, estimate says {expected_rounds}",
+                outcome.modeled_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_estimate_matches_circulant_round_count() {
+        // α-only model: the circulant schedule runs ⌈log₂p⌉ rounds per
+        // phase at any p, so the estimate must price 2⌈log₂p⌉ latencies.
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
+        for p in [2usize, 3, 5, 6, 8, 12, 13, 16] {
+            let q = p.next_power_of_two().trailing_zeros() as f64;
+            let est = AllreduceAlgorithm::ReduceScatterAllgather.estimated_seconds(&m, p, 1 << 10);
+            assert!(
+                (est - 2.0 * q).abs() < 1e-9,
+                "p={p}: estimate {est}, circulant runs {} rounds",
+                2.0 * q
+            );
+        }
     }
 
     #[test]

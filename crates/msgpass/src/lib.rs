@@ -31,13 +31,15 @@ pub mod comm;
 pub mod cost;
 pub mod localview;
 mod mailbox;
+pub mod measured;
 mod message;
 pub mod request;
 pub mod runtime;
 pub mod stats;
 
 pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
-pub use cost::{AllreduceAlgorithm, CostModel, ScanAlgorithm};
+pub use cost::{max_segment_bytes, AllreduceAlgorithm, CostModel, ScanAlgorithm};
+pub use measured::{Calibration, CalibrationSnapshot, ClassSnapshot, CostSource, PairClass};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
 pub use request::{test_any, wait_all, Request, RequestError};

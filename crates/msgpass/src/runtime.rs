@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use crate::comm::{Comm, SplitRegistry, DEFAULT_EAGER_THRESHOLD};
 use crate::cost::CostModel;
 use crate::mailbox::{build_lane_transport, build_shared_transport};
+use crate::measured::{Calibration, CalibrationSnapshot, CostSource, DEFAULT_WARMUP};
 use crate::stats::{Stats, StatsSnapshot};
 
 /// Which rank-to-rank transport a runtime wires up.
@@ -39,6 +40,7 @@ pub struct Runtime {
     cost: CostModel,
     transport: Transport,
     eager_threshold: usize,
+    cost_source: Option<CostSource>,
 }
 
 /// Everything a finished run reports.
@@ -58,6 +60,9 @@ pub struct RunOutcome<R> {
     /// CPUs, so this is *not* the parallel time — that is
     /// [`modeled_seconds`](Self::modeled_seconds)).
     pub wall: Duration,
+    /// Final state of the measured α–β–γ estimates (all zeros with zero
+    /// sample counts unless [`Comm::calibrate_cost_model`] ran).
+    pub calibration: CalibrationSnapshot,
 }
 
 impl Runtime {
@@ -72,6 +77,7 @@ impl Runtime {
             cost: CostModel::default(),
             transport: Transport::default(),
             eager_threshold: DEFAULT_EAGER_THRESHOLD,
+            cost_source: None,
         }
     }
 
@@ -92,6 +98,18 @@ impl Runtime {
     /// bytes (see [`Comm::set_eager_threshold`]).
     pub fn eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = bytes;
+        self
+    }
+
+    /// Chooses where schedule selection prices its candidates (see
+    /// [`Comm::selection_cost_model`]). Defaults to
+    /// [`CostSource::Fixed`] with the clock's cost model, which keeps
+    /// every recorded figure bit-identical to earlier revisions; pass
+    /// [`CostSource::Measured`] (plus a [`Comm::calibrate_cost_model`]
+    /// call in the rank closure) to let observed host timings drive the
+    /// crossovers instead.
+    pub fn cost_source(mut self, source: CostSource) -> Self {
+        self.cost_source = Some(source);
         self
     }
 
@@ -124,6 +142,12 @@ impl Runtime {
         let stats = Arc::new(Stats::new());
         let registry = Arc::new(SplitRegistry::new());
         let aborted = Arc::new(AtomicBool::new(false));
+        // Selection defaults to pricing from the clock model — measured
+        // calibration is strictly opt-in so recordings stay comparable.
+        let cost_source = self
+            .cost_source
+            .unwrap_or(CostSource::Fixed(self.cost));
+        let calibration = Arc::new(Calibration::new(DEFAULT_WARMUP));
         let started = Instant::now();
 
         let mut slots: Vec<Option<(R, f64)>> = Vec::with_capacity(p);
@@ -141,6 +165,7 @@ impl Runtime {
                 let registry = Arc::clone(&registry);
                 let aborted = Arc::clone(&aborted);
                 let parkers = Arc::clone(&parkers);
+                let calibration = Arc::clone(&calibration);
                 let f = &f;
                 let handle = std::thread::Builder::new()
                     .name(format!("gv-rank-{rank}"))
@@ -154,6 +179,8 @@ impl Runtime {
                             registry,
                             aborted: Arc::clone(&aborted),
                             eager_threshold: self.eager_threshold,
+                            cost_source,
+                            calibration,
                         });
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || f(&comm),
@@ -212,6 +239,7 @@ impl Runtime {
             rank_clocks,
             stats: stats.snapshot(),
             wall,
+            calibration: calibration.snapshot(),
         }
     }
 }
@@ -315,6 +343,48 @@ mod tests {
             });
             assert!(result.is_err());
         }
+    }
+
+    #[test]
+    fn measured_cost_source_calibrates_without_deadlock() {
+        let outcome = Runtime::new(4)
+            .cost_source(CostSource::Measured)
+            .run(|comm| {
+                assert_eq!(comm.cost_source(), CostSource::Measured);
+                comm.calibrate_cost_model(2);
+                // Whatever the host timings say, every rank must price
+                // from the same published estimates and agree.
+                comm.select_allreduce_algorithm(64 << 10, true, true)
+            });
+        assert!(
+            outcome.calibration.is_warm(),
+            "2 rounds × 2 initiators clear the warmup gate: {:?}",
+            outcome.calibration
+        );
+        let first = outcome.results[0];
+        assert!(
+            outcome.results.iter().all(|&algo| algo == first),
+            "ranks disagree: {:?}",
+            outcome.results
+        );
+    }
+
+    #[test]
+    fn default_cost_source_is_the_clock_model() {
+        let custom = CostModel {
+            alpha: 1.0e-6,
+            beta: 2.0e-9,
+            gamma: 3.0e-9,
+        };
+        let outcome = Runtime::new(2).cost_model(custom).run(|comm| {
+            // Without an explicit cost_source the selector prices from
+            // the clock model — including a non-default one.
+            assert_eq!(comm.cost_source(), CostSource::Fixed(custom));
+            assert_eq!(comm.selection_cost_model(1 << 20), custom);
+        });
+        // No calibration ran: the snapshot is empty and gated.
+        assert!(!outcome.calibration.is_warm());
+        assert_eq!(outcome.calibration.gamma_samples, 0);
     }
 
     #[test]

@@ -196,6 +196,17 @@ pub struct TransportSnapshot {
 }
 
 impl TransportSnapshot {
+    /// Total sends across protocol paths (overflow is a sub-classification
+    /// of eager + queued, so it is not added again).
+    pub fn total_sends(&self) -> u64 {
+        self.eager_sends + self.queued_sends
+    }
+
+    /// Total matched receives across paths.
+    pub fn total_recvs(&self) -> u64 {
+        self.ring_recvs + self.stash_recvs
+    }
+
     /// Difference against an earlier snapshot, saturating at zero.
     pub fn since(&self, earlier: &TransportSnapshot) -> TransportSnapshot {
         TransportSnapshot {

@@ -273,6 +273,68 @@ fn crossover_ring_beats_reduce_bcast_at_64kib_p8() {
 }
 
 #[test]
+fn non_power_of_two_selector_matrix_stays_within_5pct_of_best() {
+    // The Issue-7 acceptance matrix: at p = 6, 12, 24 (where the old
+    // ring reduce-scatter and the mean-segment pricing degraded) every
+    // schedule still matches the oracle, and the selector's pick never
+    // loses more than 5% modeled time to the best fixed schedule.
+    let wire = |v: &Vec<u64>| v.len() * 8;
+    let add = |mut a: Vec<u64>, b: Vec<u64>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
+    for p in [6usize, 12, 24] {
+        for bytes in [8usize, 4 << 10, 64 << 10, 256 << 10] {
+            let elems = bytes / 8;
+            let expected: Vec<u64> = (0..elems as u64)
+                .map(|i| (0..p as u64).map(|r| r + i).sum())
+                .collect();
+            // schedule 0 = cost-driven selector, 1..=3 fixed schedules.
+            let modeled: Vec<f64> = (0..4usize)
+                .map(|which| {
+                    let outcome = Runtime::new(p).run(move |comm| {
+                        let r = comm.rank() as u64;
+                        let state: Vec<u64> = (0..elems as u64).map(|i| r + i).collect();
+                        match which {
+                            0 => comm.allreduce_splittable(
+                                state,
+                                true,
+                                split_vec_segments,
+                                unsplit_vec_segments,
+                                wire,
+                                add,
+                            ),
+                            1 => comm.allreduce_reduce_bcast(state, true, wire, add),
+                            2 => comm.allreduce_recursive_doubling(state, wire, add),
+                            _ => comm.allreduce_reduce_scatter(
+                                state,
+                                split_vec_segments,
+                                unsplit_vec_segments,
+                                wire,
+                                add,
+                            ),
+                        }
+                    });
+                    for got in &outcome.results {
+                        assert_eq!(got, &expected, "which={which} p={p} bytes={bytes}");
+                    }
+                    outcome.modeled_seconds
+                })
+                .collect();
+            let best_fixed = modeled[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(
+                modeled[0] <= 1.05 * best_fixed,
+                "selector pick loses >5% at p={p} bytes={bytes}: \
+                 selector={} best fixed={best_fixed} (all: {modeled:?})",
+                modeled[0]
+            );
+        }
+    }
+}
+
+#[test]
 fn nonblocking_allreduce_moves_the_identical_traffic_as_blocking() {
     // The refactor's invariant: blocking allreduce is `iallreduce` +
     // wait over the *same* schedule implementation, so the two variants
