@@ -14,7 +14,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use gv_core::split::{split_vec_segments, unsplit_vec_segments};
-use gv_msgpass::{AllreduceAlgorithm, CostModel, CostSource, Runtime, ScanAlgorithm};
+use gv_msgpass::{
+    AllreduceAlgorithm, CostModel, CostSource, FaultPlan, Runtime, ScanAlgorithm,
+};
 
 fn recorded(name: &str) -> String {
     let path: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -119,6 +121,58 @@ fn fixed_cost_source_is_the_default_and_leaves_recordings_pinned() {
             "scan attribution {algo:?}"
         );
     }
+}
+
+#[test]
+fn disabled_fault_machinery_leaves_runs_bit_identical() {
+    // The chaos/watchdog machinery must be provably inert when disabled:
+    // a run configured with an *empty* fault plan and a (never-firing)
+    // watchdog produces exactly the modeled clocks, message counts, and
+    // byte totals of the plain default run. This is the guard that lets
+    // the recorded figures stay pinned while the fault subsystem exists —
+    // injection is opt-in, never ambient.
+    let workload = |comm: &gv_msgpass::Comm| {
+        let wire = |v: &Vec<u64>| v.len() * 8;
+        let add = |mut a: Vec<u64>, b: Vec<u64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        };
+        for elems in [1usize, 8 << 10] {
+            let state = vec![comm.rank() as u64 + 1; elems];
+            comm.allreduce_splittable(
+                state.clone(),
+                true,
+                split_vec_segments,
+                unsplit_vec_segments,
+                wire,
+                add,
+            );
+            comm.scan_both_splittable(
+                state,
+                split_vec_segments,
+                unsplit_vec_segments,
+                wire,
+                add,
+            );
+        }
+        comm.now()
+    };
+    let plain = Runtime::new(6).no_watchdog().run(move |comm| workload(comm));
+    let guarded = Runtime::new(6)
+        .fault_plan(FaultPlan::default())
+        .watchdog(std::time::Duration::from_secs(60))
+        .run(move |comm| workload(comm));
+
+    assert_eq!(plain.results, guarded.results, "modeled clocks drifted");
+    assert_eq!(plain.stats.messages, guarded.stats.messages);
+    assert_eq!(plain.stats.bytes, guarded.stats.bytes);
+    assert!(guarded.faults.is_quiet(), "an empty plan injected something");
+    assert_eq!(
+        guarded.stats.transport.embargo_defers, 0,
+        "no packet may be embargoed without a delay plan"
+    );
 }
 
 #[test]

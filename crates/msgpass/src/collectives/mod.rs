@@ -57,3 +57,33 @@ pub(crate) const TAG_REDUCE_SCATTER_CIRC: Tag = RESERVED_TAG_BASE + 0xF00;
 // The salt occupies bits 12–23, so two bases may share the 0xF00 block as
 // long as they stay distinct below it.
 pub(crate) const TAG_ALLGATHER_CIRC: Tag = RESERVED_TAG_BASE + 0xF80;
+
+/// Names the protocol a tag belongs to, for failure diagnostics: `"p2p"`
+/// for user tags, otherwise the collective schedule whose reserved base
+/// the tag carries. Reserved bases live in the low 12 bits (the salt sits
+/// in bits 12–23), so `tag & 0xFFF` recovers the base offset.
+pub(crate) fn describe_tag(tag: Tag) -> &'static str {
+    if tag < RESERVED_TAG_BASE {
+        return "p2p";
+    }
+    match tag & 0xFFF {
+        0x000 => "barrier",
+        0x100 => "bcast",
+        0x200 => "gather",
+        0x300 => "reduce",
+        0x400 => "scan",
+        0x500 => "alltoall",
+        0x600 => "shift",
+        0x700 => "scatter",
+        0x800 => "allreduce (recursive doubling)",
+        0x900 => "reduce-scatter",
+        0xA00 => "allgather (ring)",
+        0xB00 => "scan (binomial up-sweep)",
+        0xC00 => "scan (binomial down-sweep)",
+        0xD00 => "scan (pipelined chain)",
+        0xE00 => "calibration probe",
+        0xF00 => "reduce-scatter (circulant)",
+        0xF80 => "allgather (circulant)",
+        _ => "collective",
+    }
+}

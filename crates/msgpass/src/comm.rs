@@ -5,15 +5,17 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::cost::CostModel;
+use crate::fault::RankFaults;
 use crate::mailbox::{Mailbox, PeerSender, ShutdownError, Source, WaitState};
 use crate::measured::{Calibration, CalibrationSnapshot, CostSource, PairClass};
 use crate::message::{Packet, Tag};
 use crate::request::Engine;
 use crate::stats::{CallKind, Stats};
+use crate::watchdog::RankMonitor;
 
 /// Identifier of the world communicator.
 pub const WORLD_ID: u64 = 0;
@@ -72,7 +74,6 @@ pub(crate) struct RankCore {
     pub(crate) calibration: Arc<Calibration>,
     pub(crate) stats: Arc<Stats>,
     pub(crate) registry: Arc<SplitRegistry>,
-    pub(crate) aborted: Arc<AtomicBool>,
     /// Eager/queued protocol threshold in modeled wire bytes (lane
     /// transport only), shared by every communicator of this rank.
     pub(crate) eager_threshold: Cell<usize>,
@@ -92,6 +93,15 @@ pub(crate) struct RankCore {
     /// communication; salting the reserved tags by it keeps concurrent
     /// schedules on one communicator from matching each other's traffic.
     pub(crate) coll_seq: RefCell<HashMap<u64, u64>>,
+    /// This rank's handle onto the runtime's failure machinery: the abort
+    /// flag, the progress board the stall watchdog reads, and the park
+    /// timeout every wait loop bounds itself by. Declared last (with
+    /// `faults` below) so the failure-path state stays out of the hot
+    /// fields' cache lines.
+    pub(crate) monitor: RankMonitor,
+    /// Chaos-injection state when the runtime carries a fault plan;
+    /// `None` (the default) costs one discriminant check per hook.
+    pub(crate) faults: Option<RankFaults>,
 }
 
 /// RAII marker for "this rank is inside a collective". Owns its `Rc` to
@@ -131,7 +141,8 @@ pub(crate) struct WorldInit {
     pub calibration: Arc<Calibration>,
     pub stats: Arc<Stats>,
     pub registry: Arc<SplitRegistry>,
-    pub aborted: Arc<AtomicBool>,
+    pub monitor: RankMonitor,
+    pub faults: Option<RankFaults>,
     pub eager_threshold: usize,
 }
 
@@ -151,7 +162,8 @@ impl Comm {
                 calibration: init.calibration,
                 stats: init.stats,
                 registry: init.registry,
-                aborted: init.aborted,
+                monitor: init.monitor,
+                faults: init.faults,
                 eager_threshold: Cell::new(init.eager_threshold),
                 collective_depth: Cell::new(0),
                 engine: RefCell::new(Engine::default()),
@@ -199,7 +211,19 @@ impl Comm {
         self.core
             .mailbox
             .borrow_mut()
-            .wait_for_activity(state, &self.core.stats);
+            .wait_for_activity(state, &self.core.monitor, &self.core.stats);
+    }
+
+    /// Tells the watchdog this rank left a wait loop (called by the
+    /// request layer when a drive loop returns to the caller).
+    pub(crate) fn note_unblocked(&self) {
+        self.core.monitor.note_unblocked();
+    }
+
+    /// The rank's failure-machinery handle (the runtime uses it to mark
+    /// the rank done after its closure returns or unwinds).
+    pub(crate) fn monitor(&self) -> &RankMonitor {
+        &self.core.monitor
     }
 
     /// Drops every in-flight schedule. The runtime calls this when the
@@ -229,9 +253,15 @@ impl Comm {
 
     /// Marks this rank as inside a collective until the guard drops.
     pub(crate) fn enter_collective(&self) -> CollectiveGuard {
-        self.core
-            .collective_depth
-            .set(self.core.collective_depth.get() + 1);
+        let depth = self.core.collective_depth.get();
+        if depth == 0 {
+            // Top-level entry only: nested phases (a scan's internal
+            // gather, say) are not separate collectives to a fault plan.
+            if let Some(faults) = &self.core.faults {
+                faults.on_collective();
+            }
+        }
+        self.core.collective_depth.set(depth + 1);
         CollectiveGuard(Rc::clone(&self.core))
     }
 
@@ -476,12 +506,19 @@ impl Comm {
             self.core.stats.record_call(CallKind::Send);
         }
         self.core.stats.record_message(bytes);
+        // Chaos hook: counts the send (possibly firing a stall or kill
+        // trigger) and rolls the delivery-delay embargo.
+        let hold_until = match &self.core.faults {
+            Some(faults) => faults.on_send().map(Box::new),
+            None => None,
+        };
         let packet = Packet {
             comm_id: self.id,
-            src: self.rank,
+            src: self.rank as u32,
             tag,
             sent_at: self.now(),
             bytes,
+            hold_until,
             payload: Box::new(value),
         };
         // Delivery cannot block (rings spill to an overflow queue, the
@@ -516,7 +553,7 @@ impl Comm {
             + self.core.cost.beta * packet.bytes as f64;
         self.charge_overhead();
         self.bump_clock_to(available_at);
-        let from = packet.src;
+        let from = packet.src as usize;
         let value = downcast_payload::<T>(packet.payload, self.id, from, tag);
         (value, from, available_at)
     }
@@ -538,7 +575,7 @@ impl Comm {
         let available_at = packet.sent_at + self.core.cost.alpha / 2.0
             + self.core.cost.beta * packet.bytes as f64;
         self.charge_overhead();
-        let from = packet.src;
+        let from = packet.src as usize;
         let value = downcast_payload::<T>(packet.payload, self.id, from, tag);
         (value, available_at)
     }
@@ -558,7 +595,7 @@ impl Comm {
             Source::Rank(src),
             tag,
             &self.members,
-            &self.core.aborted,
+            &self.core.monitor,
             &self.core.stats,
         )?;
         let Some(packet) = packet else { return Ok(None) };
@@ -568,7 +605,7 @@ impl Comm {
             + self.core.cost.beta * packet.bytes as f64;
         self.charge_overhead();
         self.bump_clock_to(available_at);
-        let from = packet.src;
+        let from = packet.src as usize;
         Ok(Some(downcast_payload::<T>(packet.payload, self.id, from, tag)))
     }
 
@@ -582,6 +619,11 @@ impl Comm {
     /// calls progress pending requests); with an idle engine it takes the
     /// transport's native blocking path unchanged.
     fn blocking_recv(&self, src: Source, tag: Tag) -> Packet {
+        // Chaos hook: counts the blocking receive call (possibly firing a
+        // stall or kill trigger) before any matching happens.
+        if let Some(faults) = &self.core.faults {
+            faults.on_recv();
+        }
         if self.core.engine.borrow().is_idle() {
             return self
                 .core
@@ -592,7 +634,7 @@ impl Comm {
                     src,
                     tag,
                     &self.members,
-                    &self.core.aborted,
+                    &self.core.monitor,
                     &self.core.stats,
                 )
                 .unwrap_or_else(|err: ShutdownError| std::panic::panic_any(err));
@@ -604,7 +646,7 @@ impl Comm {
                 src,
                 tag,
                 &self.members,
-                &self.core.aborted,
+                &self.core.monitor,
                 &self.core.stats,
             );
             match attempt {
@@ -615,10 +657,11 @@ impl Comm {
             let before = self.core.progress.get();
             crate::request::poll_engine(self);
             if self.core.progress.get() == before {
-                self.core
-                    .mailbox
-                    .borrow_mut()
-                    .wait_for_activity(&mut wait, &self.core.stats);
+                self.core.mailbox.borrow_mut().wait_for_activity(
+                    &mut wait,
+                    &self.core.monitor,
+                    &self.core.stats,
+                );
             } else {
                 wait.reset();
             }

@@ -1,0 +1,398 @@
+//! Deterministic fault injection: seed-replayable chaos for the runtime.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, every disruption the
+//! transport layer should synthesize: probabilistic *delays* of message
+//! delivery (per-lane FIFO-preserving, so MPI's non-overtaking guarantee
+//! still holds — a delayed message embargoes everything behind it on the
+//! same matching triple), bounded *stalls* of one rank at its N-th
+//! operation, and *kills* that panic a rank at its N-th send, receive, or
+//! collective. Plans are pure data keyed by a 64-bit seed: the same plan
+//! against the same workload injects exactly the same faults, so a
+//! failing chaos seed replays deterministically.
+//!
+//! All of it is **off by default and zero-cost when disabled**: a runtime
+//! without a plan carries `None` and the per-packet hot path checks a
+//! single `Option` discriminant that never changes.
+//!
+//! The delay roll uses splitmix64 (Blackman & Vigna, public domain, the
+//! same sequence `gv-testkit` seeds its generators with) — reimplemented
+//! here because the runtime crate must not depend on the test kit.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The operation classes a fault trigger can count.
+///
+/// Counts are per rank and program-ordered, so "the 3rd collective of
+/// rank 2" names the same call on every replay of a deterministic
+/// workload. `Send` counts every wire send the rank issues (including
+/// sends inside collective schedules); `Recv` counts blocking
+/// point-to-point receive calls (`recv`/`recv_any`/`recv_meta`) at entry —
+/// the schedule-based collectives complete their receives through the
+/// request engine, whose completion order is arrival-driven and therefore
+/// not replayable as a counter, so they are deliberately *not*
+/// Recv-counted (target them with `Send` or `Collective` triggers);
+/// `Collective` counts top-level collective entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A wire send (user or collective-internal).
+    Send,
+    /// A blocking receive call.
+    Recv,
+    /// A top-level collective entry (nested phases don't re-count).
+    Collective,
+}
+
+impl FaultOp {
+    fn index(self) -> usize {
+        match self {
+            FaultOp::Send => 0,
+            FaultOp::Recv => 1,
+            FaultOp::Collective => 2,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultOp::Send => "send",
+            FaultOp::Recv => "recv",
+            FaultOp::Collective => "collective",
+        }
+    }
+}
+
+/// What a counted trigger does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    /// Sleep the rank for the duration, then continue normally.
+    Stall(Duration),
+    /// Panic the rank with an [`InjectedKill`] payload.
+    Kill,
+}
+
+/// One counted trigger: fire `action` when `rank` performs its `nth`
+/// operation of class `op` (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Trigger {
+    rank: usize,
+    op: FaultOp,
+    nth: u64,
+    action: FaultAction,
+}
+
+/// A deterministic, seed-replayable fault plan for one run.
+///
+/// Built once, handed to `Runtime::fault_plan`, consulted by the
+/// transport layer. An empty plan (the [`Default`]) injects nothing and
+/// the runtime treats it exactly like no plan at all, which is what the
+/// recordings guard pins.
+///
+/// ```
+/// use std::time::Duration;
+/// use gv_msgpass::{FaultOp, FaultPlan};
+///
+/// let plan = FaultPlan::new(42)
+///     .delay_sends(200, Duration::from_millis(2)) // 20% of sends, ≤ 2ms
+///     .stall(1, FaultOp::Collective, 3, Duration::from_millis(5))
+///     .kill(2, FaultOp::Send, 7);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Delay probability in permille (0..=1000) and the max hold.
+    delay: Option<(u32, Duration)>,
+    triggers: Vec<Trigger>,
+    /// Ranks whose OS thread spawn is made to fail (exercises the
+    /// runtime's spawn-cleanup path without exhausting real resources).
+    spawn_failures: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` for its probabilistic rolls.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Delays roughly `permille`/1000 of all sends by a hold drawn
+    /// uniformly in `(0, max]`. Holds embargo delivery at the *receiver*:
+    /// a held packet — and, to preserve per-triple FIFO order, everything
+    /// behind it with the same matching key — only matches once its hold
+    /// expires. `permille` is clamped to 1000.
+    pub fn delay_sends(mut self, permille: u32, max: Duration) -> Self {
+        self.delay = Some((permille.min(1000), max));
+        self
+    }
+
+    /// Stalls `rank` for `pause` at its `nth` (1-based) operation of
+    /// class `op`, then lets it continue.
+    pub fn stall(mut self, rank: usize, op: FaultOp, nth: u64, pause: Duration) -> Self {
+        self.triggers.push(Trigger { rank, op, nth, action: FaultAction::Stall(pause) });
+        self
+    }
+
+    /// Kills `rank` (panics it with an [`InjectedKill`] payload) at its
+    /// `nth` (1-based) operation of class `op`.
+    pub fn kill(mut self, rank: usize, op: FaultOp, nth: u64) -> Self {
+        self.triggers.push(Trigger { rank, op, nth, action: FaultAction::Kill });
+        self
+    }
+
+    /// Makes the runtime treat `rank`'s thread spawn as failed, to
+    /// exercise the graceful spawn-cleanup path.
+    pub fn fail_spawn(mut self, rank: usize) -> Self {
+        self.spawn_failures.push(rank);
+        self
+    }
+
+    /// True when the plan injects nothing at all (a disabled plan — the
+    /// runtime skips every hook, exactly as if no plan were set).
+    pub fn is_empty(&self) -> bool {
+        self.delay.is_none_or(|(permille, _)| permille == 0)
+            && self.triggers.is_empty()
+            && self.spawn_failures.is_empty()
+    }
+
+    /// True when the plan can delay sends.
+    pub(crate) fn has_delays(&self) -> bool {
+        self.delay.is_some_and(|(permille, _)| permille > 0)
+    }
+
+    /// The longest single disruption the plan can inject (max delay hold
+    /// or stall pause) — a lower bound a watchdog window must clear.
+    pub fn max_disruption(&self) -> Duration {
+        let delay = self
+            .delay
+            .filter(|&(permille, _)| permille > 0)
+            .map_or(Duration::ZERO, |(_, max)| max);
+        self.triggers
+            .iter()
+            .filter_map(|t| match t.action {
+                FaultAction::Stall(pause) => Some(pause),
+                FaultAction::Kill => None,
+            })
+            .fold(delay, Duration::max)
+    }
+
+    /// Whether `rank`'s spawn is planned to fail.
+    pub(crate) fn spawn_fails(&self, rank: usize) -> bool {
+        self.spawn_failures.contains(&rank)
+    }
+
+    /// Builds `rank`'s runtime-side injection state.
+    pub(crate) fn for_rank(&self, rank: usize, counters: Arc<FaultCounters>) -> RankFaults {
+        // Derive an independent per-rank stream: mix the rank into the
+        // seed through one splitmix64 step so adjacent seeds/ranks don't
+        // correlate.
+        let mut state = self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut state);
+        RankFaults {
+            rank,
+            delay: self.delay.filter(|&(permille, _)| permille > 0),
+            rng: Cell::new(state),
+            triggers: self.triggers.iter().filter(|t| t.rank == rank).copied().collect(),
+            counts: [Cell::new(0), Cell::new(0), Cell::new(0)],
+            counters,
+        }
+    }
+}
+
+/// One step of splitmix64 (public domain; see module docs).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Panic payload of an injected kill. Downcasting a run's failure payload
+/// to this type distinguishes chaos-injected deaths from real bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedKill {
+    /// The killed rank (world rank).
+    pub rank: usize,
+    /// The counted operation class the kill fired on.
+    pub op: FaultOp,
+    /// Which occurrence (1-based) fired it.
+    pub nth: u64,
+}
+
+impl fmt::Display for InjectedKill {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected kill: rank {} at its {}th {}",
+            self.rank,
+            self.nth,
+            self.op.name()
+        )
+    }
+}
+
+/// Shared tallies of what a plan actually injected, reported through
+/// `RunOutcome::faults`.
+#[derive(Debug, Default)]
+pub(crate) struct FaultCounters {
+    delays: AtomicU64,
+    stalls: AtomicU64,
+    kills: AtomicU64,
+}
+
+impl FaultCounters {
+    pub(crate) fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            delayed_sends: self.delays.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a run's fault plan actually injected (all zero without a plan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Sends whose delivery was embargoed by a delay roll.
+    pub delayed_sends: u64,
+    /// Stall triggers that fired.
+    pub stalls: u64,
+    /// Kill triggers that fired.
+    pub kills: u64,
+}
+
+impl FaultSummary {
+    /// True when nothing was injected.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+}
+
+/// One rank's live injection state: the per-rank RNG stream, operation
+/// counters, and this rank's triggers. Not `Sync` — owned by the rank
+/// thread, like the rest of the rank core.
+pub(crate) struct RankFaults {
+    rank: usize,
+    delay: Option<(u32, Duration)>,
+    rng: Cell<u64>,
+    triggers: Vec<Trigger>,
+    counts: [Cell<u64>; 3],
+    counters: Arc<FaultCounters>,
+}
+
+impl RankFaults {
+    /// Counts one operation of class `op` and fires any matching trigger:
+    /// stalls sleep in place, kills panic with [`InjectedKill`].
+    fn on_op(&self, op: FaultOp) {
+        let count = &self.counts[op.index()];
+        let n = count.get() + 1;
+        count.set(n);
+        for t in &self.triggers {
+            if t.op == op && t.nth == n {
+                match t.action {
+                    FaultAction::Stall(pause) => {
+                        self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(pause);
+                    }
+                    FaultAction::Kill => {
+                        self.counters.kills.fetch_add(1, Ordering::Relaxed);
+                        std::panic::panic_any(InjectedKill { rank: self.rank, op, nth: n });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send hook: counts the send, fires triggers, and rolls the delay —
+    /// returning the embargo deadline to stamp onto the packet, if any.
+    pub(crate) fn on_send(&self) -> Option<Instant> {
+        self.on_op(FaultOp::Send);
+        let (permille, max) = self.delay?;
+        let mut state = self.rng.get();
+        let roll = splitmix64(&mut state);
+        let frac = splitmix64(&mut state);
+        self.rng.set(state);
+        if roll % 1000 < u64::from(permille) {
+            self.counters.delays.fetch_add(1, Ordering::Relaxed);
+            // Uniform hold in (0, max]: scale by a 10-bit fraction.
+            let hold = max.mul_f64(((frac % 1024) + 1) as f64 / 1024.0);
+            Some(Instant::now() + hold)
+        } else {
+            None
+        }
+    }
+
+    /// Receive hook: counts the receive and fires triggers.
+    pub(crate) fn on_recv(&self) {
+        self.on_op(FaultOp::Recv);
+    }
+
+    /// Collective hook: counts a top-level collective entry.
+    pub(crate) fn on_collective(&self) {
+        self.on_op(FaultOp::Collective);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_quiet() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::new(7).is_empty());
+        assert!(FaultPlan::new(7).delay_sends(0, Duration::from_millis(1)).is_empty());
+        assert!(!FaultPlan::new(7).delay_sends(1, Duration::from_millis(1)).is_empty());
+        assert!(!FaultPlan::new(7).kill(0, FaultOp::Send, 1).is_empty());
+        assert!(!FaultPlan::new(7).fail_spawn(0).is_empty());
+    }
+
+    #[test]
+    fn delay_rolls_replay_deterministically() {
+        let plan = FaultPlan::new(99).delay_sends(500, Duration::from_millis(2));
+        let draw = |plan: &FaultPlan| {
+            let faults = plan.for_rank(3, Arc::new(FaultCounters::default()));
+            (0..64).map(|_| faults.on_send().is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(&plan), draw(&plan));
+        // Different ranks draw different streams.
+        let other = plan.for_rank(4, Arc::new(FaultCounters::default()));
+        let stream = (0..64).map(|_| other.on_send().is_some()).collect::<Vec<_>>();
+        assert_ne!(draw(&plan), stream, "rank streams should decorrelate");
+    }
+
+    #[test]
+    fn kill_fires_on_exact_nth_op() {
+        let plan = FaultPlan::new(1).kill(2, FaultOp::Recv, 3);
+        let counters = Arc::new(FaultCounters::default());
+        let faults = plan.for_rank(2, Arc::clone(&counters));
+        faults.on_recv();
+        faults.on_recv();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faults.on_recv()))
+            .unwrap_err();
+        let kill = err.downcast_ref::<InjectedKill>().expect("typed payload");
+        assert_eq!(*kill, InjectedKill { rank: 2, op: FaultOp::Recv, nth: 3 });
+        assert_eq!(counters.summary().kills, 1);
+        // Other ranks are untouched by the trigger.
+        let other = plan.for_rank(1, Arc::new(FaultCounters::default()));
+        for _ in 0..10 {
+            other.on_recv();
+        }
+    }
+
+    #[test]
+    fn max_disruption_covers_delays_and_stalls() {
+        let plan = FaultPlan::new(0)
+            .delay_sends(100, Duration::from_millis(2))
+            .stall(0, FaultOp::Send, 1, Duration::from_millis(9))
+            .kill(1, FaultOp::Send, 1);
+        assert_eq!(plan.max_disruption(), Duration::from_millis(9));
+    }
+}

@@ -29,6 +29,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod localview;
 mod mailbox;
 pub mod measured;
@@ -36,12 +37,17 @@ mod message;
 pub mod request;
 pub mod runtime;
 pub mod stats;
+pub mod watchdog;
 
 pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
 pub use cost::{max_segment_bytes, AllreduceAlgorithm, CostModel, ScanAlgorithm};
+pub use fault::{FaultOp, FaultPlan, FaultSummary, InjectedKill};
 pub use measured::{Calibration, CalibrationSnapshot, ClassSnapshot, CostSource, PairClass};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};
 pub use message::{Tag, RESERVED_TAG_BASE};
 pub use request::{test_any, wait_all, Request, RequestError};
-pub use runtime::{RunOutcome, Runtime, Transport};
+pub use runtime::{
+    FailureReport, RunError, RunOutcome, Runtime, Transport, DEFAULT_PARK_TIMEOUT,
+};
 pub use stats::{CallKind, Stats, StatsSnapshot, TransportSnapshot};
+pub use watchdog::{BlockedOn, RankStall, RankState, StallReport};

@@ -21,21 +21,31 @@
 //! [`ShutdownError`] rather than a bare panic, so callers can attach
 //! context before unwinding. A parked lane receive observes shutdown two
 //! ways: lane closure and runtime aborts explicitly unpark it, and the
-//! park itself always carries a timeout, so even a lost wakeup degrades
-//! to a 50 ms poll, never a hang.
+//! park itself always carries a timeout (configurable via
+//! `Runtime::park_timeout`, 50 ms by default), so even a lost wakeup
+//! degrades to a bounded re-poll, never a hang.
+//!
+//! Every wait loop additionally feeds the rank's
+//! [`RankMonitor`](crate::watchdog::RankMonitor): matches bump the
+//! progress epoch, parks record the blocked-on triple — the raw material
+//! of the stall watchdog's reports. With chaos injection active
+//! (`Runtime::fault_plan`), packets may carry an embargo deadline
+//! (`Packet::hold_until`); the matching passes refuse to deliver a held
+//! packet — or anything behind it on the same matching key, preserving
+//! per-triple FIFO — until the hold expires.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gv_executor::channel::{Receiver, RecvTimeoutError, Sender};
 use gv_executor::lane::{lane, LaneDeposit, LaneReceiver, LaneSender, Parker};
 
 use crate::message::{LaneMsg, Packet, Tag};
 use crate::stats::Stats;
+use crate::watchdog::RankMonitor;
 
 /// Ring slots per lane. Collective schedules keep at most a handful of
 /// messages in flight per peer pair, so a small ring suffices; bursts
@@ -43,10 +53,12 @@ use crate::stats::Stats;
 /// modest because a `p`-rank runtime allocates `p²` lanes.
 const LANE_CAPACITY: usize = 32;
 
-/// Upper bound on one park. Shutdown normally interrupts a park
-/// explicitly (lane closure and runtime abort both unpark); the timeout
-/// is the backstop that turns any missed wakeup into a bounded re-poll.
-const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+/// Upper bound on one blocking wait on the *shared* transport. The shared
+/// channel has no abort-side wakeup (only message arrivals signal its
+/// condvar), so the timed re-poll IS its abort detection; the configured
+/// park timeout is clamped to this so a large `Runtime::park_timeout`
+/// cannot defer shutdown indefinitely on the legacy transport.
+const SHARED_ABORT_POLL: Duration = Duration::from_millis(50);
 
 /// Scheduler yields between spinning and parking. A yield hands the CPU
 /// to a runnable producer without the futex sleep/wake a park costs —
@@ -54,6 +66,14 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(50);
 /// almost always runnable, so most waits resolve within a few yields
 /// and never park.
 const YIELD_LIMIT: u32 = 64;
+
+/// True while the packet's chaos embargo holds. Costs one null check
+/// (no clock read) for the `None` case every non-injected packet
+/// carries.
+#[inline]
+fn embargoed(packet: &Packet) -> bool {
+    packet.hold_until.as_deref().is_some_and(|&t| Instant::now() < t)
+}
 
 /// Backoff state carried by a caller polling its mailbox without a
 /// posted receive to block on (the progress engine's drive loops).
@@ -115,6 +135,11 @@ pub struct ShutdownError {
     pub tag: Tag,
     /// What cut the receive short.
     pub kind: ShutdownKind,
+    /// World rank of the blocked receiver.
+    pub rank: usize,
+    /// The first rank recorded as failed by the runtime when this error
+    /// was raised, if any (the likely root cause of an abort).
+    pub culprit: Option<usize>,
 }
 
 impl fmt::Display for ShutdownError {
@@ -123,11 +148,21 @@ impl fmt::Display for ShutdownError {
             ShutdownKind::Disconnected => "peer ranks exited without sending",
             ShutdownKind::Aborted => "a peer rank panicked",
         };
+        write!(f, "rank {} recv(comm={}, src=", self.rank, self.comm)?;
+        match self.src {
+            Source::Rank(r) => write!(f, "rank {r}")?,
+            Source::Any => f.write_str("any")?,
+        }
         write!(
             f,
-            "recv(comm={}, src={:?}, tag={}) shut down: {reason}",
-            self.comm, self.src, self.tag
-        )
+            ", tag={:#x}) in {} shut down: {reason}",
+            self.tag,
+            crate::collectives::describe_tag(self.tag)
+        )?;
+        if let Some(culprit) = self.culprit {
+            write!(f, " (first failure on rank {culprit})")?;
+        }
+        Ok(())
     }
 }
 
@@ -213,11 +248,19 @@ pub(crate) struct LaneMailbox {
     parker: Arc<Parker>,
     /// Bounded spin before parking (host-parallelism-aware).
     spin_limit: u32,
+    /// Stashed packets carrying a chaos embargo (counted until taken,
+    /// even after their holds expire). Zero on every non-injected run,
+    /// which lets the hot paths skip the embargo-only re-checks with one
+    /// integer compare.
+    held_stashed: usize,
 }
 
 impl LaneMailbox {
     /// Takes the earliest stashed packet matching `(comm_id, tag)` among
-    /// the candidate lanes, if any.
+    /// the candidate lanes, if any. A lane whose front packet for the key
+    /// is embargoed contributes nothing — delivering anything behind the
+    /// held front would break per-triple FIFO, and the front itself must
+    /// wait out its hold.
     fn take_stashed(&mut self, comm_id: u64, tag: Tag, lanes: &[usize]) -> Option<Packet> {
         let key = (comm_id, tag);
         let mut best: Option<(u64, usize)> = None;
@@ -226,8 +269,8 @@ impl LaneMailbox {
             if lane.stash_len == 0 {
                 continue;
             }
-            if let Some(&(seq, _)) = lane.stash.get(&key).and_then(|q| q.front()) {
-                if best.is_none_or(|(s, _)| seq < s) {
+            if let Some(&(seq, ref front)) = lane.stash.get(&key).and_then(|q| q.front()) {
+                if !embargoed(front) && best.is_none_or(|(s, _)| seq < s) {
                     best = Some((seq, w));
                 }
             }
@@ -240,11 +283,32 @@ impl LaneMailbox {
             lane.stash.remove(&key);
         }
         lane.stash_len -= 1;
+        if packet.hold_until.is_some() {
+            self.held_stashed -= 1;
+        }
         Some(packet)
+    }
+
+    /// True when any candidate lane stashes packets for the key —
+    /// including embargoed ones a `take_stashed` refuses to deliver yet.
+    fn has_stashed(&self, comm_id: u64, tag: Tag, lanes: &[usize]) -> bool {
+        let key = (comm_id, tag);
+        lanes.iter().any(|&w| {
+            let lane = &self.lanes[w];
+            lane.stash_len > 0 && lane.stash.contains_key(&key)
+        })
     }
 
     /// Drains the candidate lanes' rings: returns the first match,
     /// stashing everything else by its own `(comm, tag)` key.
+    ///
+    /// A ring packet may only short-circuit past the stash if its lane
+    /// stashes nothing under the same key: the callers always exhaust
+    /// `take_stashed` first, so a same-key stashed packet can only exist
+    /// behind a chaos embargo (`held_stashed > 0` gates the hash lookup
+    /// down to one integer compare on non-injected runs) — a held packet
+    /// parked in the stash must not be overtaken by a younger ring
+    /// arrival on its triple.
     fn drain(
         &mut self,
         comm_id: u64,
@@ -256,9 +320,17 @@ impl LaneMailbox {
             let lane = &mut self.lanes[w];
             while let Some(msg) = lane.rx.try_recv() {
                 let packet = msg.into_packet();
-                if packet.comm_id == comm_id && packet.tag == tag {
+                if packet.comm_id == comm_id
+                    && packet.tag == tag
+                    && !(self.held_stashed > 0 && lane.stash.contains_key(&(comm_id, tag)))
+                    && !embargoed(&packet)
+                {
                     stats.transport.record_ring_recv();
                     return Some(packet);
+                }
+                if packet.hold_until.is_some() {
+                    stats.transport.record_embargo_defer();
+                    self.held_stashed += 1;
                 }
                 lane.stash(packet);
                 stats.transport.record_restash();
@@ -275,45 +347,63 @@ impl LaneMailbox {
         src: Source,
         tag: Tag,
         lanes: &[usize],
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Option<Packet>, ShutdownError> {
-        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
         if let Some(packet) = self.take_stashed(comm_id, tag, lanes) {
+            monitor.note_match();
             stats.transport.record_stash_recv();
             return Ok(Some(packet));
         }
         if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+            monitor.note_match();
             return Ok(Some(packet));
         }
         // Shutdown checks come only after a full drain: a message already
         // delivered always beats a concurrent shutdown.
-        if aborted.load(Ordering::Relaxed) {
-            return Err(shutdown(ShutdownKind::Aborted));
+        if monitor.is_aborted() {
+            return Err(monitor.shutdown_error(comm_id, src, tag, ShutdownKind::Aborted));
         }
         if lanes.iter().all(|&w| self.lanes[w].rx.is_closed()) {
             // `is_closed` was observed *after* the drain above, and a
             // producer closes only after its final send, so one more
             // drain sees anything that raced with the closure.
             if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                monitor.note_match();
                 return Ok(Some(packet));
             }
-            let kind = if aborted.load(Ordering::Relaxed) {
+            // An embargoed stashed match is still a future delivery, not
+            // a disconnect: report "nothing yet" and let the caller wait
+            // out the hold.
+            if self.has_stashed(comm_id, tag, lanes) {
+                monitor.note_miss(comm_id, src, tag);
+                return Ok(None);
+            }
+            let kind = if monitor.is_aborted() {
                 ShutdownKind::Aborted
             } else {
                 ShutdownKind::Disconnected
             };
-            return Err(shutdown(kind));
+            return Err(monitor.shutdown_error(comm_id, src, tag, kind));
         }
+        monitor.note_miss(comm_id, src, tag);
         Ok(None)
     }
 
     /// One backoff step while nothing was receivable: spin, then yield,
-    /// then take a wake ticket, re-check every lane, and park (bounded by
-    /// [`PARK_TIMEOUT`]). Watches *all* lanes, not one receive's
-    /// candidates, because the caller may be progressing several
-    /// schedules with different matching triples.
-    fn wait_for_activity(&self, state: &mut WaitState, stats: &Stats) {
+    /// then take a wake ticket, re-check the watched lanes, and park
+    /// (bounded by the monitor's park timeout). `lanes` narrows the
+    /// pre-park readiness check to a posted receive's candidates; `None`
+    /// watches everything, for callers progressing several schedules
+    /// with different matching triples.
+    fn wait_step(
+        &self,
+        state: &mut WaitState,
+        lanes: Option<&[usize]>,
+        posted: Option<(u64, Source, Tag)>,
+        monitor: &RankMonitor,
+        stats: &Stats,
+    ) {
         if state.spins < self.spin_limit {
             state.spins += 1;
             std::hint::spin_loop();
@@ -325,53 +415,77 @@ impl LaneMailbox {
             return;
         }
         let ticket = self.parker.ticket();
-        if self.lanes.iter().any(|lane| lane.rx.ready()) {
+        let ready = match lanes {
+            Some(ls) => ls.iter().any(|&w| self.lanes[w].rx.ready()),
+            None => self.lanes.iter().any(|lane| lane.rx.ready()),
+        };
+        if ready {
             state.reset();
             return;
         }
+        monitor.note_parked(posted);
         stats.transport.record_park();
-        self.parker.park_timeout(ticket, PARK_TIMEOUT);
+        self.parker.park_timeout(ticket, monitor.park_timeout());
         state.reset();
     }
 
+    /// Blocking receive, specialized so the hot loop touches the stash
+    /// hash only once at entry: after that, every iteration is a ring
+    /// drain plus the shutdown checks, and the stash re-check (an
+    /// embargoed match drained earlier parks in the stash until its hold
+    /// expires) is gated on `held_stashed` — one integer compare, never
+    /// taken without chaos injection.
     fn recv_or_abort(
         &mut self,
         comm_id: u64,
         src: Source,
         tag: Tag,
         lanes: &[usize],
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Packet, ShutdownError> {
-        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
         if let Some(packet) = self.take_stashed(comm_id, tag, lanes) {
+            monitor.note_match();
             stats.transport.record_stash_recv();
             return Ok(packet);
         }
         let mut spins = 0u32;
         let mut yields = 0u32;
         loop {
+            if self.held_stashed > 0 {
+                if let Some(packet) = self.take_stashed(comm_id, tag, lanes) {
+                    monitor.note_match();
+                    stats.transport.record_stash_recv();
+                    return Ok(packet);
+                }
+            }
             if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                monitor.note_match();
                 return Ok(packet);
             }
             // Shutdown checks come only after a full drain: a message
             // already delivered always beats a concurrent shutdown.
-            if aborted.load(Ordering::Relaxed) {
-                return Err(shutdown(ShutdownKind::Aborted));
+            if monitor.is_aborted() {
+                return Err(monitor.shutdown_error(comm_id, src, tag, ShutdownKind::Aborted));
             }
             if lanes.iter().all(|&w| self.lanes[w].rx.is_closed()) {
                 // `is_closed` was observed *after* the drain above, and a
                 // producer closes only after its final send, so one more
                 // drain sees anything that raced with the closure.
                 if let Some(packet) = self.drain(comm_id, tag, lanes, stats) {
+                    monitor.note_match();
                     return Ok(packet);
                 }
-                let kind = if aborted.load(Ordering::Relaxed) {
-                    ShutdownKind::Aborted
-                } else {
-                    ShutdownKind::Disconnected
-                };
-                return Err(shutdown(kind));
+                if !(self.held_stashed > 0 && self.has_stashed(comm_id, tag, lanes)) {
+                    let kind = if monitor.is_aborted() {
+                        ShutdownKind::Aborted
+                    } else {
+                        ShutdownKind::Disconnected
+                    };
+                    return Err(monitor.shutdown_error(comm_id, src, tag, kind));
+                }
+                // An embargoed stashed match is still a future delivery,
+                // not a disconnect: keep waiting out the hold.
             }
             if spins < self.spin_limit {
                 spins += 1;
@@ -389,8 +503,9 @@ impl LaneMailbox {
                 yields = 0;
                 continue;
             }
+            monitor.note_parked(Some((comm_id, src, tag)));
             stats.transport.record_park();
-            self.parker.park_timeout(ticket, PARK_TIMEOUT);
+            self.parker.park_timeout(ticket, monitor.park_timeout());
             spins = 0;
             yields = 0;
         }
@@ -405,6 +520,11 @@ pub(crate) struct SharedMailbox {
     incoming: Receiver<Packet>,
     pending: HashMap<(u64, usize, Tag), StashQueue>,
     pending_len: usize,
+    /// Pending packets carrying a chaos embargo (counted until taken,
+    /// even after their holds expire). Zero on every non-injected run,
+    /// which lets arrivals match directly without consulting the pending
+    /// index beyond one integer compare.
+    held_pending: usize,
     next_seq: u64,
 }
 
@@ -414,6 +534,7 @@ impl SharedMailbox {
             incoming,
             pending: HashMap::new(),
             pending_len: 0,
+            held_pending: 0,
             next_seq: 0,
         }
     }
@@ -421,8 +542,11 @@ impl SharedMailbox {
     fn stash(&mut self, packet: Packet) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if packet.hold_until.is_some() {
+            self.held_pending += 1;
+        }
         self.pending
-            .entry((packet.comm_id, packet.src, packet.tag))
+            .entry((packet.comm_id, packet.src as usize, packet.tag))
             .or_default()
             .push_back((seq, packet));
         self.pending_len += 1;
@@ -432,9 +556,23 @@ impl SharedMailbox {
         packet.comm_id == comm_id
             && packet.tag == tag
             && match src {
-                Source::Rank(r) => packet.src == r,
+                Source::Rank(r) => packet.src as usize == r,
                 Source::Any => true,
             }
+    }
+
+    /// True when the pending index already queues packets under the
+    /// arriving packet's own `(comm, src, tag)` key — in which case it
+    /// must queue behind them (per-triple FIFO), even if it matches the
+    /// posted receive. The callers exhaust `take_pending` before draining
+    /// the channel, so a same-key pending packet can only exist behind a
+    /// chaos embargo — gating on `held_pending` (zero without injection)
+    /// is exact, and keeps this a single integer compare on the hot path.
+    fn pending_holds(&self, packet: &Packet) -> bool {
+        self.held_pending > 0
+            && self
+                .pending
+                .contains_key(&(packet.comm_id, packet.src as usize, packet.tag))
     }
 
     fn take_pending(&mut self, comm_id: u64, src: Source, tag: Tag) -> Option<Packet> {
@@ -442,15 +580,27 @@ impl SharedMailbox {
             return None;
         }
         let key = match src {
-            Source::Rank(r) => (comm_id, r, tag),
+            Source::Rank(r) => {
+                // An embargoed front blocks its whole key: nothing behind
+                // it may overtake.
+                let front = self.pending.get(&(comm_id, r, tag)).and_then(|q| q.front());
+                match front {
+                    Some((_, packet)) if !embargoed(packet) => (comm_id, r, tag),
+                    _ => return None,
+                }
+            }
             Source::Any => {
-                // Earliest arrival across sources: scan the (comm, tag)
-                // keys — O(distinct keys), not O(pending packets).
+                // Earliest deliverable arrival across sources: scan the
+                // (comm, tag) keys — O(distinct keys), not O(packets).
                 let best = self
                     .pending
                     .iter()
                     .filter(|((c, _, t), _)| *c == comm_id && *t == tag)
-                    .filter_map(|(key, q)| q.front().map(|&(seq, _)| (seq, *key)))
+                    .filter_map(|(key, q)| {
+                        q.front()
+                            .filter(|(_, packet)| !embargoed(packet))
+                            .map(|&(seq, _)| (seq, *key))
+                    })
                     .min_by_key(|&(seq, _)| seq);
                 best?.1
             }
@@ -461,7 +611,25 @@ impl SharedMailbox {
             self.pending.remove(&key);
         }
         self.pending_len -= 1;
+        if packet.hold_until.is_some() {
+            self.held_pending -= 1;
+        }
         Some(packet)
+    }
+
+    /// True when the pending index holds *any* packet (embargoed or not)
+    /// a receive for `(comm_id, src, tag)` could eventually match.
+    fn has_pending_match(&self, comm_id: u64, src: Source, tag: Tag) -> bool {
+        if self.pending_len == 0 {
+            return false;
+        }
+        match src {
+            Source::Rank(r) => self.pending.contains_key(&(comm_id, r, tag)),
+            Source::Any => self
+                .pending
+                .keys()
+                .any(|&(c, _, t)| c == comm_id && t == tag),
+        }
     }
 
     /// One non-blocking matching pass over the pending index and the
@@ -471,43 +639,66 @@ impl SharedMailbox {
         comm_id: u64,
         src: Source,
         tag: Tag,
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Option<Packet>, ShutdownError> {
-        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
         if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            monitor.note_match();
             stats.transport.record_stash_recv();
             return Ok(Some(packet));
         }
         while let Some(packet) = self.incoming.try_recv() {
-            if Self::matches(&packet, comm_id, src, tag) {
+            if Self::matches(&packet, comm_id, src, tag)
+                && !self.pending_holds(&packet)
+                && !embargoed(&packet)
+            {
+                monitor.note_match();
                 stats.transport.record_ring_recv();
                 return Ok(Some(packet));
+            }
+            if packet.hold_until.is_some() {
+                stats.transport.record_embargo_defer();
             }
             self.stash(packet);
             stats.transport.record_restash();
         }
-        if aborted.load(Ordering::Relaxed) {
-            return Err(shutdown(ShutdownKind::Aborted));
+        if monitor.is_aborted() {
+            return Err(monitor.shutdown_error(comm_id, src, tag, ShutdownKind::Aborted));
         }
         if self.incoming.is_disconnected() {
             // Disconnection was observed after the drain above; one more
             // pass catches a send that raced with the last sender's exit.
             while let Some(packet) = self.incoming.try_recv() {
-                if Self::matches(&packet, comm_id, src, tag) {
+                if Self::matches(&packet, comm_id, src, tag)
+                    && !self.pending_holds(&packet)
+                    && !embargoed(&packet)
+                {
+                    monitor.note_match();
                     stats.transport.record_ring_recv();
                     return Ok(Some(packet));
                 }
                 self.stash(packet);
                 stats.transport.record_restash();
             }
-            let kind = if aborted.load(Ordering::Relaxed) {
+            if let Some(packet) = self.take_pending(comm_id, src, tag) {
+                monitor.note_match();
+                stats.transport.record_stash_recv();
+                return Ok(Some(packet));
+            }
+            // Embargoed pending matches still deliver once their holds
+            // expire — not yet a disconnect.
+            if self.has_pending_match(comm_id, src, tag) {
+                monitor.note_miss(comm_id, src, tag);
+                return Ok(None);
+            }
+            let kind = if monitor.is_aborted() {
                 ShutdownKind::Aborted
             } else {
                 ShutdownKind::Disconnected
             };
-            return Err(shutdown(kind));
+            return Err(monitor.shutdown_error(comm_id, src, tag, kind));
         }
+        monitor.note_miss(comm_id, src, tag);
         Ok(None)
     }
 
@@ -515,52 +706,98 @@ impl SharedMailbox {
     /// arrival is stashed into the pending index (a later
     /// [`try_recv`](Self::try_recv) finds it there), so this never loses
     /// a message to the wait itself.
-    fn wait_for_activity(&mut self, stats: &Stats) {
-        match self.incoming.recv_timeout(PARK_TIMEOUT) {
+    fn wait_step(
+        &mut self,
+        posted: Option<(u64, Source, Tag)>,
+        monitor: &RankMonitor,
+        stats: &Stats,
+    ) {
+        monitor.note_parked(posted);
+        let timeout = monitor.park_timeout().min(SHARED_ABORT_POLL);
+        match self.incoming.recv_timeout(timeout) {
             Ok(packet) => self.stash(packet),
             Err(RecvTimeoutError::Timeout) => stats.transport.record_park(),
             // Disconnection is the *caller's* signal to stop waiting; the
-            // next try_recv pass reports it as a typed shutdown.
-            Err(RecvTimeoutError::Disconnected) => stats.transport.record_park(),
+            // next try_recv pass reports it as a typed shutdown (or keeps
+            // waiting on an embargoed pending match — yield so that loop
+            // is not a hot spin).
+            Err(RecvTimeoutError::Disconnected) => {
+                stats.transport.record_park();
+                std::thread::yield_now();
+            }
         }
     }
 
+    /// Blocking receive, specialized so the steady state pays exactly one
+    /// channel pass per message: the pending index is consulted once at
+    /// entry, then the loop blocks in `recv_timeout` and returns a
+    /// matching arrival *directly* — no stash round-trip (hash insert
+    /// plus re-scan), no extra non-blocking drain. The chaos-only pending
+    /// re-check is gated on `held_pending` (an embargoed match stashed
+    /// during the wait becomes deliverable once its hold expires), and
+    /// the FIFO guard (`pending_holds`) stays exact: a same-key pending
+    /// packet can only exist behind an embargo.
     fn recv_or_abort(
         &mut self,
         comm_id: u64,
         src: Source,
         tag: Tag,
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Packet, ShutdownError> {
-        let shutdown = |kind| ShutdownError { comm: comm_id, src, tag, kind };
         if let Some(packet) = self.take_pending(comm_id, src, tag) {
+            monitor.note_match();
             stats.transport.record_stash_recv();
             return Ok(packet);
         }
         loop {
-            match self.incoming.recv_timeout(PARK_TIMEOUT) {
+            if self.held_pending > 0 {
+                if let Some(packet) = self.take_pending(comm_id, src, tag) {
+                    monitor.note_match();
+                    stats.transport.record_stash_recv();
+                    return Ok(packet);
+                }
+            }
+            monitor.note_parked(Some((comm_id, src, tag)));
+            let timeout = monitor.park_timeout().min(SHARED_ABORT_POLL);
+            match self.incoming.recv_timeout(timeout) {
                 Ok(packet) => {
-                    if Self::matches(&packet, comm_id, src, tag) {
+                    if Self::matches(&packet, comm_id, src, tag)
+                        && !self.pending_holds(&packet)
+                        && !embargoed(&packet)
+                    {
+                        monitor.note_match();
                         stats.transport.record_ring_recv();
                         return Ok(packet);
+                    }
+                    if packet.hold_until.is_some() {
+                        stats.transport.record_embargo_defer();
                     }
                     self.stash(packet);
                     stats.transport.record_restash();
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     stats.transport.record_park();
-                    if aborted.load(Ordering::Relaxed) {
-                        return Err(shutdown(ShutdownKind::Aborted));
+                    if monitor.is_aborted() {
+                        return Err(monitor.shutdown_error(
+                            comm_id,
+                            src,
+                            tag,
+                            ShutdownKind::Aborted,
+                        ));
                     }
                 }
+                // Disconnection: delegate classification (and the
+                // close-race drain) to the full matching pass, which
+                // reports a typed shutdown — or keeps waiting on an
+                // embargoed pending match (yield so that loop is not a
+                // hot spin).
                 Err(RecvTimeoutError::Disconnected) => {
-                    let kind = if aborted.load(Ordering::Relaxed) {
-                        ShutdownKind::Aborted
-                    } else {
-                        ShutdownKind::Disconnected
-                    };
-                    return Err(shutdown(kind));
+                    stats.transport.record_park();
+                    if let Some(packet) = self.try_recv(comm_id, src, tag, monitor, stats)? {
+                        return Ok(packet);
+                    }
+                    std::thread::yield_now();
                 }
             }
         }
@@ -575,7 +812,7 @@ pub(crate) enum Mailbox {
 
 impl Mailbox {
     /// Blocks until a packet matching `(comm_id, src, tag)` is available,
-    /// periodically checking `aborted`.
+    /// periodically checking the runtime abort flag through `monitor`.
     ///
     /// `members` maps the posting communicator's ranks to **world** ranks
     /// (`members[q]` = world rank of comm rank `q`); the lane transport
@@ -588,18 +825,18 @@ impl Mailbox {
         src: Source,
         tag: Tag,
         members: &[usize],
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Packet, ShutdownError> {
         match self {
             Mailbox::Lanes(lanes) => match src {
                 Source::Rank(q) => {
                     let lane = [members[q]];
-                    lanes.recv_or_abort(comm_id, src, tag, &lane, aborted, stats)
+                    lanes.recv_or_abort(comm_id, src, tag, &lane, monitor, stats)
                 }
-                Source::Any => lanes.recv_or_abort(comm_id, src, tag, members, aborted, stats),
+                Source::Any => lanes.recv_or_abort(comm_id, src, tag, members, monitor, stats),
             },
-            Mailbox::Shared(shared) => shared.recv_or_abort(comm_id, src, tag, aborted, stats),
+            Mailbox::Shared(shared) => shared.recv_or_abort(comm_id, src, tag, monitor, stats),
         }
     }
 
@@ -612,28 +849,33 @@ impl Mailbox {
         src: Source,
         tag: Tag,
         members: &[usize],
-        aborted: &AtomicBool,
+        monitor: &RankMonitor,
         stats: &Stats,
     ) -> Result<Option<Packet>, ShutdownError> {
         match self {
             Mailbox::Lanes(lanes) => match src {
                 Source::Rank(q) => {
                     let lane = [members[q]];
-                    lanes.try_recv(comm_id, src, tag, &lane, aborted, stats)
+                    lanes.try_recv(comm_id, src, tag, &lane, monitor, stats)
                 }
-                Source::Any => lanes.try_recv(comm_id, src, tag, members, aborted, stats),
+                Source::Any => lanes.try_recv(comm_id, src, tag, members, monitor, stats),
             },
-            Mailbox::Shared(shared) => shared.try_recv(comm_id, src, tag, aborted, stats),
+            Mailbox::Shared(shared) => shared.try_recv(comm_id, src, tag, monitor, stats),
         }
     }
 
     /// One backoff step for a caller whose last full sweep of polls made
-    /// no progress. Bounded by [`PARK_TIMEOUT`], woken early by any
-    /// producer, lane closure, or a runtime abort's unpark.
-    pub(crate) fn wait_for_activity(&mut self, state: &mut WaitState, stats: &Stats) {
+    /// no progress. Bounded by the monitor's park timeout, woken early by
+    /// any producer, lane closure, or a runtime abort's unpark.
+    pub(crate) fn wait_for_activity(
+        &mut self,
+        state: &mut WaitState,
+        monitor: &RankMonitor,
+        stats: &Stats,
+    ) {
         match self {
-            Mailbox::Lanes(lanes) => lanes.wait_for_activity(state, stats),
-            Mailbox::Shared(shared) => shared.wait_for_activity(stats),
+            Mailbox::Lanes(lanes) => lanes.wait_step(state, None, None, monitor, stats),
+            Mailbox::Shared(shared) => shared.wait_step(None, monitor, stats),
         }
     }
 }
@@ -661,6 +903,7 @@ pub(crate) fn build_lane_transport(
             lanes,
             parker: Arc::clone(&parker),
             spin_limit,
+            held_stashed: 0,
         }));
         parkers.push(parker);
     }
@@ -693,14 +936,16 @@ pub(crate) fn build_shared_transport(p: usize) -> (Vec<Mailbox>, Vec<Vec<PeerSen
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn packet(comm_id: u64, src: usize, tag: Tag, value: i32) -> Packet {
         Packet {
             comm_id,
-            src,
+            src: src as u32,
             tag,
             sent_at: 0.0,
             bytes: 4,
+            hold_until: None,
             payload: Box::new(value),
         }
     }
@@ -713,29 +958,34 @@ mod tests {
         mailboxes: Vec<Mailbox>,
         senders: Vec<Vec<PeerSender>>,
         stats: Stats,
-        aborted: AtomicBool,
+        aborted: Arc<AtomicBool>,
+        monitor: RankMonitor,
         members: Vec<usize>,
     }
 
     impl Harness {
         fn lanes(p: usize) -> Self {
             let (mailboxes, senders, _parkers) = build_lane_transport(p);
+            let aborted = Arc::new(AtomicBool::new(false));
             Harness {
                 mailboxes,
                 senders,
                 stats: Stats::new(),
-                aborted: AtomicBool::new(false),
+                monitor: RankMonitor::detached(Arc::clone(&aborted)),
+                aborted,
                 members: (0..p).collect(),
             }
         }
 
         fn shared(p: usize) -> Self {
             let (mailboxes, senders) = build_shared_transport(p);
+            let aborted = Arc::new(AtomicBool::new(false));
             Harness {
                 mailboxes,
                 senders,
                 stats: Stats::new(),
-                aborted: AtomicBool::new(false),
+                monitor: RankMonitor::detached(Arc::clone(&aborted)),
+                aborted,
                 members: (0..p).collect(),
             }
         }
@@ -744,10 +994,16 @@ mod tests {
             self.senders[s][d].send(packet(comm, s, tag, value), usize::MAX, &self.stats);
         }
 
+        fn send_held(&self, s: usize, d: usize, comm: u64, tag: Tag, value: i32, hold: Duration) {
+            let mut p = packet(comm, s, tag, value);
+            p.hold_until = Some(Box::new(Instant::now() + hold));
+            self.senders[s][d].send(p, usize::MAX, &self.stats);
+        }
+
         fn recv(&mut self, d: usize, comm: u64, src: Source, tag: Tag) -> Result<i32, ShutdownError> {
             let members = self.members.clone();
             self.mailboxes[d]
-                .recv_or_abort(comm, src, tag, &members, &self.aborted, &self.stats)
+                .recv_or_abort(comm, src, tag, &members, &self.monitor, &self.stats)
                 .map(value_of)
         }
     }
@@ -846,7 +1102,10 @@ mod tests {
             assert_eq!(err.kind, ShutdownKind::Disconnected);
             assert_eq!(err.comm, 0);
             assert_eq!(err.tag, 7);
+            assert_eq!(err.rank, 0);
+            assert_eq!(err.culprit, None);
             assert!(err.to_string().contains("shut down"), "{err}");
+            assert!(err.to_string().contains("p2p"), "{err}");
         }
     }
 
@@ -880,14 +1139,14 @@ mod tests {
         // spin-then-park slow path.
         let (mut mailboxes, mut senders, _parkers) = build_lane_transport(2);
         let stats = Stats::new();
-        let aborted = AtomicBool::new(false);
+        let monitor = RankMonitor::detached(Arc::new(AtomicBool::new(false)));
         let peer = senders.remove(1); // rank 1's endpoints
         let holder = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
             drop(peer); // rank 1 exits without sending
         });
         let err = mailboxes[0]
-            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &aborted, &stats)
+            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &monitor, &stats)
             .unwrap_err();
         assert_eq!(err.kind, ShutdownKind::Disconnected);
         assert!(stats.snapshot().transport.parks > 0, "receiver never parked");
@@ -901,16 +1160,16 @@ mod tests {
         let (mut mailboxes, senders, parkers) = build_lane_transport(2);
         let stats = Stats::new();
         let aborted = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&aborted);
+        let monitor = RankMonitor::detached(Arc::clone(&aborted));
         let parker = Arc::clone(&parkers[0]);
         let raiser = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            flag.store(true, Ordering::Relaxed);
+            aborted.store(true, Ordering::Relaxed);
             parker.unpark();
         });
         let started = std::time::Instant::now();
         let err = mailboxes[0]
-            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &aborted, &stats)
+            .recv_or_abort(0, Source::Rank(1), 7, &[0, 1], &monitor, &stats)
             .unwrap_err();
         assert_eq!(err.kind, ShutdownKind::Aborted);
         // The explicit unpark makes this prompt (well under the 50 ms
@@ -944,5 +1203,60 @@ mod tests {
         let snap = h.stats.snapshot().transport;
         assert_eq!(snap.eager_sends, 1);
         assert_eq!(snap.queued_sends, 1);
+    }
+
+    #[test]
+    fn embargoed_packet_waits_out_its_hold() {
+        for mut h in both_transports(2) {
+            let started = Instant::now();
+            h.send_held(1, 0, 0, 7, 42, Duration::from_millis(40));
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(42));
+            assert!(
+                started.elapsed() >= Duration::from_millis(40),
+                "embargo was not honored: {:?}",
+                started.elapsed()
+            );
+            assert!(h.stats.snapshot().transport.embargo_defers > 0);
+        }
+    }
+
+    #[test]
+    fn embargo_preserves_fifo_within_triple() {
+        for mut h in both_transports(2) {
+            // A held head must not be overtaken by unheld packets behind
+            // it on the same (comm, src, tag) triple.
+            h.send_held(1, 0, 0, 7, 1, Duration::from_millis(30));
+            h.send(1, 0, 0, 7, 2);
+            h.send(1, 0, 0, 7, 3);
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(1));
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(2));
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(3));
+        }
+    }
+
+    #[test]
+    fn embargoed_packet_survives_sender_exit() {
+        // A held message from a sender that exits immediately afterwards
+        // must still be delivered (not reported as a disconnect).
+        for mut h in both_transports(2) {
+            h.send_held(1, 0, 0, 7, 9, Duration::from_millis(30));
+            h.senders.clear();
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(9));
+            let err = h.recv(0, 0, Source::Rank(1), 7).unwrap_err();
+            assert_eq!(err.kind, ShutdownKind::Disconnected);
+        }
+    }
+
+    #[test]
+    fn embargo_does_not_block_other_triples() {
+        for mut h in both_transports(3) {
+            h.send_held(1, 0, 0, 7, 1, Duration::from_secs(30));
+            h.send(2, 0, 0, 7, 2);
+            // Same tag, different source: deliverable immediately.
+            assert_eq!(h.recv(0, 0, Source::Rank(2), 7), Ok(2));
+            // Different tag from the held source: also deliverable.
+            h.send(1, 0, 0, 9, 3);
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 9), Ok(3));
+        }
     }
 }

@@ -17,14 +17,24 @@ pub const RESERVED_TAG_BASE: Tag = 0xF000_0000;
 pub(crate) struct Packet {
     /// Id of the communicator this packet belongs to.
     pub comm_id: u64,
-    /// Sender's rank *within that communicator*.
-    pub src: usize,
+    /// Sender's rank *within that communicator*. `u32` so the envelope
+    /// (with the embargo pointer below) stays at 56 bytes — ranks are
+    /// in-process threads, far below this range.
+    pub src: u32,
     /// Matching tag.
     pub tag: Tag,
     /// Sender's virtual clock at the moment of sending.
     pub sent_at: f64,
     /// Modeled wire size in bytes.
     pub bytes: usize,
+    /// Chaos-injection embargo: when set, the receive side refuses to
+    /// match this packet (and, to preserve per-triple FIFO order,
+    /// anything behind it on the same matching key) until the deadline
+    /// passes. Boxed so the envelope only grows by one niche-optimized
+    /// pointer; `None` — the invariable case without a fault plan — costs
+    /// one null check on the matching path, and the allocation only
+    /// happens on sends a delay plan actually embargoes.
+    pub hold_until: Option<Box<std::time::Instant>>,
     /// The moved value.
     pub payload: Box<dyn Any + Send>,
 }

@@ -40,6 +40,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
+use std::time::{Duration, Instant};
 
 use crate::comm::Comm;
 use crate::mailbox::{ShutdownError, WaitState};
@@ -315,6 +316,7 @@ pub(crate) fn drive<S: Schedule>(comm: &Comm, mut schedule: S) -> S::Output {
         match schedule.poll() {
             Ok(Some(out)) => {
                 comm.stats().record_request_completed();
+                comm.note_unblocked();
                 return out;
             }
             Ok(None) => {}
@@ -390,11 +392,47 @@ impl<T: 'static> Request<T> {
         let mut wait = WaitState::new();
         loop {
             if let Some(result) = self.harvest() {
+                self.comm.note_unblocked();
                 return result;
             }
             let before = self.comm.progress_count();
             poll_engine(&self.comm);
             if self.comm.progress_count() == before {
+                self.comm.wait_for_activity(&mut wait);
+            } else {
+                wait.reset();
+            }
+        }
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`, returning
+    /// `Ok(None)` with the request still in flight (a later `wait`,
+    /// `wait_timeout`, or `test` can still deliver the result).
+    ///
+    /// The engine keeps progressing throughout, so a timed-out wait never
+    /// stalls other in-flight requests. The deadline is checked between
+    /// backoff steps, so the call can overshoot `timeout` by about one
+    /// park (the runtime's configured park timeout, 50 ms by default).
+    /// Transport shutdown surfaces as [`RequestError::Shutdown`]
+    /// immediately, whatever the timeout.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<T>, RequestError> {
+        if self.consumed {
+            return Err(RequestError::AlreadyCompleted);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut wait = WaitState::new();
+        loop {
+            if let Some(result) = self.harvest() {
+                self.comm.note_unblocked();
+                return result.map(Some);
+            }
+            let before = self.comm.progress_count();
+            poll_engine(&self.comm);
+            if self.comm.progress_count() == before {
+                if Instant::now() >= deadline {
+                    self.comm.note_unblocked();
+                    return Ok(None);
+                }
                 self.comm.wait_for_activity(&mut wait);
             } else {
                 wait.reset();
@@ -468,6 +506,7 @@ pub fn wait_all<T: 'static>(requests: &mut [Request<T>]) -> Result<Vec<T>, Reque
             }
         }
         if remaining == 0 {
+            comm.note_unblocked();
             return Ok(outputs.into_iter().map(|o| o.expect("harvested")).collect());
         }
         let before = comm.progress_count();

@@ -130,6 +130,7 @@ pub(crate) struct TransportStats {
     stash_recvs: AtomicU64,
     restashes: AtomicU64,
     parks: AtomicU64,
+    embargo_defers: AtomicU64,
 }
 
 impl TransportStats {
@@ -161,6 +162,10 @@ impl TransportStats {
         self.parks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_embargo_defer(&self) {
+        self.embargo_defers.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
             eager_sends: self.eager_sends.load(Ordering::Relaxed),
@@ -170,6 +175,7 @@ impl TransportStats {
             stash_recvs: self.stash_recvs.load(Ordering::Relaxed),
             restashes: self.restashes.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            embargo_defers: self.embargo_defers.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +199,9 @@ pub struct TransportSnapshot {
     /// Times a receiver gave up spinning and parked (or, on the shared
     /// transport, hit its blocking-wait timeout).
     pub parks: u64,
+    /// Chaos-embargoed arrivals a receiver refused to match (stashed until
+    /// their injected hold expired). Always zero without a fault plan.
+    pub embargo_defers: u64,
 }
 
 impl TransportSnapshot {
@@ -217,6 +226,7 @@ impl TransportSnapshot {
             stash_recvs: self.stash_recvs.saturating_sub(earlier.stash_recvs),
             restashes: self.restashes.saturating_sub(earlier.restashes),
             parks: self.parks.saturating_sub(earlier.parks),
+            embargo_defers: self.embargo_defers.saturating_sub(earlier.embargo_defers),
         }
     }
 }

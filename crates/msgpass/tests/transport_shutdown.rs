@@ -211,6 +211,171 @@ fn peer_exit_while_parked_in_wait_all_is_a_typed_request_error() {
 }
 
 #[test]
+fn abort_surfaces_through_a_test_any_poll_loop() {
+    // A rank polling `test_any` (never blocking in the transport) must
+    // still observe a peer panic as a typed shutdown from the poll
+    // itself, on both transports.
+    for transport in TRANSPORTS {
+        let kinds: Mutex<Vec<ShutdownKind>> = Mutex::new(Vec::new());
+        let run = std::panic::catch_unwind(|| {
+            Runtime::new(2).transport(transport).run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("rank 0 exploded");
+                }
+                let mut reqs: Vec<_> = (0..2u64)
+                    .map(|i| comm.iallreduce_recursive_doubling(i, |_| 8, |a, b| a + b))
+                    .collect();
+                loop {
+                    match gv_msgpass::test_any(&mut reqs) {
+                        Ok(Some(_)) => panic!("requests cannot complete without rank 0"),
+                        Ok(None) => std::thread::yield_now(),
+                        Err(gv_msgpass::RequestError::Shutdown(err)) => {
+                            kinds.lock().unwrap().push(err.kind);
+                            break;
+                        }
+                        Err(other) => panic!("unexpected request error: {other:?}"),
+                    }
+                }
+            })
+        });
+        assert!(run.is_err(), "{transport:?}: the panic must propagate");
+        let kinds = kinds.into_inner().unwrap();
+        assert_eq!(kinds, vec![ShutdownKind::Aborted], "{transport:?}");
+    }
+}
+
+#[test]
+fn request_dropped_during_abort_neither_hangs_nor_double_panics() {
+    // Dropping an in-flight request after the runtime aborted must just
+    // detach it — no hang waiting for a peer that is gone, no secondary
+    // panic out of the drop glue.
+    for transport in TRANSPORTS {
+        let started = Instant::now();
+        let run = std::panic::catch_unwind(|| {
+            Runtime::new(2).transport(transport).run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    panic!("rank 0 exploded");
+                }
+                let req = comm.iallreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
+                // Linger until the abort has certainly been raised, then
+                // drop the request without ever waiting on it.
+                std::thread::sleep(Duration::from_millis(60));
+                drop(req);
+            })
+        });
+        assert!(run.is_err(), "{transport:?}: rank 0's panic must propagate");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{transport:?}: dropping the request stalled the shutdown"
+        );
+    }
+}
+
+#[test]
+fn wait_timeout_times_out_then_completes() {
+    // `wait_timeout` returning Ok(None) is a resumable state: the request
+    // stays live and a later wait harvests the result normally.
+    for transport in TRANSPORTS {
+        let outcome = Runtime::new(2).transport(transport).run(|comm| {
+            if comm.rank() == 0 {
+                // Join late so rank 1's first wait genuinely times out.
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            let mut req = comm.iallreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
+            if comm.rank() == 1 {
+                let early = req
+                    .wait_timeout(Duration::from_millis(15))
+                    .expect("timeout is not an error");
+                assert!(early.is_none(), "{transport:?}: peer had not joined yet");
+            }
+            req.wait_timeout(Duration::from_secs(30))
+                .expect("collective completes")
+                .expect("30 s is not a real deadline here")
+        });
+        assert_eq!(outcome.results, vec![2, 2], "{transport:?}");
+    }
+}
+
+#[test]
+fn shutdown_under_wait_timeout_is_typed_and_prompt() {
+    // A peer panic must fail a pending `wait_timeout` with the typed
+    // shutdown error well before the caller's deadline — the timeout is
+    // for lost progress, not the error path.
+    for transport in TRANSPORTS {
+        let kinds: Mutex<Vec<(ShutdownKind, Duration)>> = Mutex::new(Vec::new());
+        let run = std::panic::catch_unwind(|| {
+            Runtime::new(2).transport(transport).run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("rank 0 exploded");
+                }
+                let started = Instant::now();
+                let mut req = comm.iallreduce_recursive_doubling(1u64, |_| 8, |a, b| a + b);
+                match req.wait_timeout(Duration::from_secs(30)) {
+                    Err(gv_msgpass::RequestError::Shutdown(err)) => {
+                        kinds.lock().unwrap().push((err.kind, started.elapsed()));
+                    }
+                    other => panic!("expected a typed shutdown, got {other:?}"),
+                }
+            })
+        });
+        assert!(run.is_err(), "{transport:?}: the panic must propagate");
+        let kinds = kinds.into_inner().unwrap();
+        assert_eq!(kinds.len(), 1, "{transport:?}");
+        let (kind, waited) = kinds[0];
+        assert_eq!(kind, ShutdownKind::Aborted, "{transport:?}");
+        assert!(
+            waited < Duration::from_secs(5),
+            "{transport:?}: shutdown took {waited:?}, deadline-bound not event-bound"
+        );
+    }
+}
+
+#[test]
+fn abort_wakeup_is_the_explicit_unpark_not_the_park_timeout() {
+    // Pin the abort-wakeup mechanism: with the park timeout configured
+    // absurdly long, a parked receiver must still unwind promptly when a
+    // peer panics — proving the wakeup is the abort path's explicit
+    // unpark, not the timeout backstop expiring.
+    let observed: Mutex<Option<(ShutdownError, Duration)>> = Mutex::new(None);
+    let run = std::panic::catch_unwind(|| {
+        Runtime::new(2)
+            .transport(Transport::PerPeerLanes)
+            .park_timeout(Duration::from_secs(30))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("rank 0 exploded");
+                }
+                let started = Instant::now();
+                let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    comm.recv::<u8>(0, 9)
+                }));
+                let err = blocked
+                    .expect_err("recv should have unwound")
+                    .downcast::<ShutdownError>()
+                    .expect("payload should be a ShutdownError");
+                *observed.lock().unwrap() = Some((*err, started.elapsed()));
+            })
+    });
+    assert!(run.is_err(), "the panic must propagate");
+    let (err, waited) = observed.into_inner().unwrap().expect("rank 1 observed the abort");
+    assert_eq!(err.kind, ShutdownKind::Aborted);
+    assert_eq!(err.rank, 1, "the error names the blocked rank");
+    assert_eq!(err.culprit, Some(0), "the error names the first failure");
+    let rendered = err.to_string();
+    assert!(rendered.contains("rank 1"), "{rendered}");
+    assert!(rendered.contains("p2p"), "{rendered}");
+    // The receiver slept across rank 0's 50 ms delay, so it was parked —
+    // and with a 30 s park timeout, only the explicit unpark explains a
+    // prompt unwind.
+    assert!(waited >= Duration::from_millis(40), "{waited:?}");
+    assert!(waited < Duration::from_secs(5), "{waited:?}");
+}
+
+#[test]
 fn peer_panic_fails_a_parked_wait_as_aborted() {
     // A peer panic (runtime abort) must unwind a parked single-request
     // `wait` with `RequestError::Shutdown(Aborted)` on both transports.

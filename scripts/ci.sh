@@ -11,7 +11,14 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace --benches
 cargo clippy --all-targets --offline -- -D warnings
-cargo test -q --offline --workspace
+
+# Run the whole test suite under a stall watchdog (see DESIGN.md,
+# "Failure semantics and chaos harness"): any hang regression surfaces as
+# a typed RunError::Stalled with a per-rank blocked-on report instead of
+# wedging CI until an outer timeout kills it. The chaos soak
+# (crates/msgpass/tests/chaos_soak.rs) runs as part of the workspace
+# suite with its pinned, replayable seeds.
+GV_WATCHDOG_MS=30000 cargo test -q --offline --workspace
 
 # Smoke-run the figure/ablation harnesses with shrunk iteration counts:
 # catches bins that build but panic at runtime (bad arg parsing, schedule
