@@ -1,0 +1,273 @@
+//! Experiment BENCH-KERNEL: wall-clock throughput of the intra-rank block
+//! kernels (`gv_core::kernel`) against the forced per-element scalar
+//! loop, op × type × length.
+//!
+//! Like TXT-TRANSPORT this times the real host, not the cost model: the
+//! modeled `accum_ops`/`combine_ops` charges are dispatch-independent by
+//! design (recorded figures stay bit-identical with kernels on), so the
+//! kernels' whole value is wall-clock and must be shown as wall-clock.
+//!
+//! Each gated cell (Sum/Min/Max × i64/f64, reduce and scan) contributes
+//! to a geometric-mean speedup with a 4× PASS/FAIL target; extra rows
+//! (prod, bitwise, bucketed Counts/Histogram) are reported but not
+//! gated. Before timing, every integer cell asserts the kernel result is
+//! bit-identical to the scalar loop, and every float cell asserts two
+//! kernel runs are bit-identical (determinism; the scalar comparison for
+//! floats is the *pinned-regrouping reference*, property-tested in
+//! `tests/op_laws.rs`).
+//!
+//! Usage: kernel_microbench [--csv]
+//! Env:   GV_BENCH_QUICK=1 shrinks iteration counts for a CI smoke run.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gv_bench::table::has_flag;
+use gv_core::op::{
+    accumulate_block, accumulate_block_scalar, rescan_block, rescan_block_scalar, ReduceScanOp,
+    ScanKind,
+};
+use gv_core::ops::builtin::{bxor, max, min, prod, sum};
+use gv_core::ops::counts::Counts;
+use gv_core::ops::histogram::Histogram;
+
+/// Best-of-`reps` nanoseconds per element for `iters` runs of `f`.
+fn time_ns(n: usize, iters: u32, reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_elem = started.elapsed().as_secs_f64() / iters as f64 / n as f64 * 1e9;
+        best = best.min(per_elem);
+    }
+    best
+}
+
+struct Cell {
+    name: String,
+    n: usize,
+    scalar_ns: f64,
+    kernel_ns: f64,
+    gated: bool,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.kernel_ns
+    }
+}
+
+fn reduce_value<Op: ReduceScanOp>(op: &Op, data: &[Op::In], scalar: bool) -> Op::Out {
+    let mut s = op.ident();
+    if scalar {
+        accumulate_block_scalar(op, &mut s, data);
+    } else {
+        accumulate_block(op, &mut s, data);
+    }
+    op.red_gen(s)
+}
+
+fn scan_values<Op: ReduceScanOp>(op: &Op, data: &[Op::In], scalar: bool) -> Vec<Op::Out> {
+    let mut s = op.ident();
+    let mut out = Vec::with_capacity(data.len());
+    if scalar {
+        rescan_block_scalar(op, &mut s, data, ScanKind::Inclusive, &mut out);
+    } else {
+        rescan_block(op, &mut s, data, ScanKind::Inclusive, &mut out);
+    }
+    out
+}
+
+/// Times one reduce cell, verifying dispatch agreement first.
+///
+/// `exact` cells assert kernel == scalar; non-exact (float sum/prod)
+/// cells assert the kernel is run-to-run deterministic instead.
+fn reduce_cell<Op>(
+    name: &str,
+    op: &Op,
+    data: &[Op::In],
+    exact: bool,
+    gated: bool,
+    iters: u32,
+    reps: u32,
+) -> Cell
+where
+    Op: ReduceScanOp,
+    Op::Out: PartialEq + std::fmt::Debug,
+{
+    if exact {
+        assert_eq!(
+            reduce_value(op, data, false),
+            reduce_value(op, data, true),
+            "{name}: kernel reduce must be bit-identical to scalar"
+        );
+    } else {
+        assert_eq!(
+            reduce_value(op, data, false),
+            reduce_value(op, data, false),
+            "{name}: kernel reduce must be deterministic across runs"
+        );
+    }
+    let n = data.len();
+    let scalar_ns = time_ns(n, iters, reps, || {
+        black_box(reduce_value(op, black_box(data), true));
+    });
+    let kernel_ns = time_ns(n, iters, reps, || {
+        black_box(reduce_value(op, black_box(data), false));
+    });
+    Cell { name: format!("reduce/{name}"), n, scalar_ns, kernel_ns, gated }
+}
+
+/// Times one inclusive-scan cell, verifying dispatch agreement first.
+fn scan_cell<Op>(
+    name: &str,
+    op: &Op,
+    data: &[Op::In],
+    exact: bool,
+    gated: bool,
+    iters: u32,
+    reps: u32,
+) -> Cell
+where
+    Op: ReduceScanOp,
+    Op::Out: PartialEq + std::fmt::Debug,
+{
+    if exact {
+        assert_eq!(
+            scan_values(op, data, false),
+            scan_values(op, data, true),
+            "{name}: kernel scan must be bit-identical to scalar"
+        );
+    } else {
+        assert_eq!(
+            scan_values(op, data, false),
+            scan_values(op, data, false),
+            "{name}: kernel scan must be deterministic across runs"
+        );
+    }
+    let n = data.len();
+    let mut out: Vec<Op::Out> = Vec::with_capacity(n);
+    let scalar_ns = time_ns(n, iters, reps, || {
+        out.clear();
+        let mut s = op.ident();
+        rescan_block_scalar(op, &mut s, black_box(data), ScanKind::Inclusive, &mut out);
+        black_box(&out);
+    });
+    let kernel_ns = time_ns(n, iters, reps, || {
+        out.clear();
+        let mut s = op.ident();
+        rescan_block(op, &mut s, black_box(data), ScanKind::Inclusive, &mut out);
+        black_box(&out);
+    });
+    Cell { name: format!("scan/{name}"), n, scalar_ns, kernel_ns, gated }
+}
+
+fn data_i64(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| (i.wrapping_mul(2654435761)) % 1_000_003 - 500_000).collect()
+}
+
+fn data_f64(n: usize) -> Vec<f64> {
+    data_i64(n).into_iter().map(|x| x as f64 / 7.0).collect()
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = values.fold((0.0, 0u32), |(s, c), v| (s + v.ln(), c + 1));
+    if count == 0 { 1.0 } else { (sum / count as f64).exp() }
+}
+
+const TARGET: f64 = 4.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = has_flag(&args, "--csv");
+    let quick = std::env::var("GV_BENCH_QUICK").is_ok_and(|v| v != "0");
+    // ~32 Mi elements of work per timing rep in full mode.
+    let (work, reps) = if quick { (1u64 << 18, 1) } else { (1u64 << 25, 3) };
+
+    let lengths = [4_096usize, 131_072];
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &n in &lengths {
+        let iters = (work / n as u64).max(1) as u32;
+        let ints = data_i64(n);
+        let floats = data_f64(n);
+
+        // Gated cells: the acceptance sweep, Sum/Min/Max × i64/f64.
+        cells.push(reduce_cell("sum_i64", &sum::<i64>(), &ints, true, true, iters, reps));
+        cells.push(reduce_cell("min_i64", &min::<i64>(), &ints, true, true, iters, reps));
+        cells.push(reduce_cell("max_i64", &max::<i64>(), &ints, true, true, iters, reps));
+        cells.push(reduce_cell("sum_f64", &sum::<f64>(), &floats, false, true, iters, reps));
+        cells.push(reduce_cell("min_f64", &min::<f64>(), &floats, true, true, iters, reps));
+        cells.push(reduce_cell("max_f64", &max::<f64>(), &floats, true, true, iters, reps));
+        cells.push(scan_cell("sum_i64", &sum::<i64>(), &ints, true, true, iters, reps));
+        cells.push(scan_cell("min_i64", &min::<i64>(), &ints, true, true, iters, reps));
+        cells.push(scan_cell("max_i64", &max::<i64>(), &ints, true, true, iters, reps));
+        cells.push(scan_cell("sum_f64", &sum::<f64>(), &floats, false, true, iters, reps));
+        cells.push(scan_cell("min_f64", &min::<f64>(), &floats, true, true, iters, reps));
+        cells.push(scan_cell("max_f64", &max::<f64>(), &floats, true, true, iters, reps));
+
+        // Reported, ungated: product, bitwise, and the bucketed fast path.
+        let pos: Vec<f64> = floats.iter().map(|x| 1.0 + x.abs() * 1e-9).collect();
+        cells.push(reduce_cell("prod_f64", &prod::<f64>(), &pos, false, false, iters, reps));
+        let words: Vec<u64> = ints.iter().map(|&x| x as u64).collect();
+        cells.push(reduce_cell("bxor_u64", &bxor::<u64>(), &words, true, false, iters, reps));
+        let buckets: Vec<usize> = ints.iter().map(|&x| (x.unsigned_abs() % 256) as usize).collect();
+        cells.push(reduce_cell("counts_256", &Counts::new(256), &buckets, true, false, iters, reps));
+        cells.push(reduce_cell(
+            "histogram_u256",
+            &Histogram::uniform(-600_000.0, 600_000.0, 256),
+            &floats,
+            true,
+            false,
+            iters,
+            reps,
+        ));
+    }
+
+    let gate = geomean(cells.iter().filter(|c| c.gated).map(Cell::speedup));
+    let pass = gate >= TARGET;
+
+    if csv {
+        println!("cell,n,scalar_ns_per_elem,kernel_ns_per_elem,speedup,gated");
+        for c in &cells {
+            println!(
+                "{},{},{:.4},{:.4},{:.3},{}",
+                c.name, c.n, c.scalar_ns, c.kernel_ns, c.speedup(), c.gated
+            );
+        }
+        println!("geomean_gated,,,,{gate:.3},");
+        println!("verdict,,,,{},", if pass { "PASS" } else { "FAIL" });
+    } else {
+        println!("Block-kernel microbenchmark: vectorized kernels vs forced scalar loop");
+        println!(
+            "(ns per element, best of {reps} rep(s); isa tier = {}; integer cells verified \
+             bit-identical, float cells verified deterministic)\n",
+            gv_core::kernel::isa_tier().name()
+        );
+        println!(
+            "  {:<24} {:>8} {:>12} {:>12} {:>9}  {}",
+            "cell", "n", "scalar", "kernel", "speedup", "gate"
+        );
+        for c in &cells {
+            println!(
+                "  {:<24} {:>8} {:>9.2} ns {:>9.2} ns {:>8.2}x  {}",
+                c.name,
+                c.n,
+                c.scalar_ns,
+                c.kernel_ns,
+                c.speedup(),
+                if c.gated { "*" } else { "" }
+            );
+        }
+        println!(
+            "\ngeomean over gated (*) cells: {gate:.2}x (target {TARGET:.0}x) => {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+    }
+
+    if !pass && !quick {
+        std::process::exit(1);
+    }
+}

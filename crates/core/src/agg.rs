@@ -54,9 +54,7 @@ pub fn accumulate_rows<Op: ReduceScanOp + ?Sized>(
         op.pre_accum(s, x);
     }
     for row in rows {
-        for (s, x) in states.iter_mut().zip(row.iter()) {
-            op.accum(s, x);
-        }
+        op.accum_slots(states, row);
     }
     for (s, x) in states.iter_mut().zip(last.iter()) {
         op.post_accum(s, x);

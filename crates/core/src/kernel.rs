@@ -1,0 +1,679 @@
+//! Intra-rank block kernels: the vector-lane tier under the engines.
+//!
+//! The repository's reduction path is tiered like the generic GPU design
+//! (arXiv:1710.07358): vector lanes within a block (this module), the
+//! `gv-executor` chunked tree across cores (`crate::par`), message-passing
+//! ranks across the machine (`gv-msgpass`/`gv-rsmpi`). Everything here is
+//! plain Rust over fixed-width lane arrays — the workspace is hermetic, so
+//! there is no `std::simd` and no intrinsics crate; LLVM auto-vectorizes
+//! the lane loops, and runtime ISA dispatch (memchr-style:
+//! `is_x86_feature_detected!` + `#[target_feature]` monomorphizations of
+//! the *same* loop) lets one portable binary use AVX2/AVX-512 registers
+//! without changing a single result.
+//!
+//! # The float-determinism contract
+//!
+//! Integer, bitwise and boolean kernels are *regrouping-invariant*: they
+//! produce results bit-identical to the per-element scalar loop, always.
+//! Float kernels necessarily reassociate (that is where the speedup comes
+//! from), so their grouping is **pinned** instead of left to the optimizer:
+//!
+//! * [`fold_block`] folds lane `l ∈ 0..LANES` over elements
+//!   `l, l+LANES, l+2·LANES, …` of the full-group prefix, folds the lanes
+//!   together in ascending lane order, then folds the remainder serially —
+//!   exactly the algorithm [`fold_block_reference`] spells out.
+//! * [`scan_block_network`] runs a [`SCAN_GROUP`]-wide Hillis–Steele
+//!   prefix network per group with a serial carry between groups
+//!   ([`scan_block_network_reference`] is the spelled-out oracle).
+//!
+//! The lane count and group width are compile-time constants, the dispatch
+//! variants are monomorphizations of one body, and no variant enables FMA
+//! contraction — so the same input produces the same float result on every
+//! run, every thread count, and every ISA tier. Changing [`LANES`] or
+//! [`SCAN_GROUP`] *is* a semantic change for floats and must be treated
+//! like one (recordings re-checked).
+//!
+//! NaN caveat (same as MPI's `MPI_MIN`/`MPI_MAX`): comparison-based folds
+//! and scans are only regrouping-invariant for totally-ordered float data,
+//! because `if b < a { b } else { a }` is not associative across NaN (or
+//! a +0/−0 mix). The pinned regrouping still makes them deterministic;
+//! they just may differ from the serial order when NaNs are present.
+//!
+//! # Dispatch observability
+//!
+//! Every block routed through a kernel ticks a process-wide counter, and
+//! every block that falls back to the generic per-element loop ticks
+//! another ([`dispatch_counts`]). `gv-msgpass` snapshots both into its
+//! `StatsSnapshot` as *observed* counters — masked from determinism pins
+//! exactly like the transport counters, because they measure how compute
+//! ran, not what it produced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::op::ScanKind;
+
+/// Accumulator lanes in a [`fold_block`] group. Pinned: part of the float
+/// results' definition, not a tuning knob (32 × 8-byte lanes = four
+/// AVX-512 registers, eight AVX2, sixteen SSE2 — enough independent
+/// chains to cover FP-add latency on all of them).
+pub const LANES: usize = 32;
+
+/// Width of the [`scan_block_network`] prefix network. Pinned for the same
+/// reason as [`LANES`].
+pub const SCAN_GROUP: usize = 8;
+
+static KERNEL_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_BLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one block dispatched through a specialized block kernel.
+#[inline]
+pub fn note_kernel_block() {
+    KERNEL_BLOCKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one block handled by the generic per-element scalar loop.
+#[inline]
+pub fn note_scalar_block() {
+    SCALAR_BLOCKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide `(kernel_blocks, scalar_blocks)` dispatch counts.
+///
+/// Observed (not modeled) and monotone; consumers that need a delta take
+/// two readings. The counters say nothing about results — they exist so
+/// benchmarks and stats can *prove* which path ran.
+pub fn dispatch_counts() -> (u64, u64) {
+    (
+        KERNEL_BLOCKS.load(Ordering::Relaxed),
+        SCALAR_BLOCKS.load(Ordering::Relaxed),
+    )
+}
+
+/// Which vector ISA tier the dispatcher selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaTier {
+    /// Baseline build target (SSE2 on x86-64); also every non-x86 arch.
+    Portable,
+    /// AVX2 detected at runtime.
+    Avx2,
+    /// AVX-512 (F+DQ+BW+VL) detected at runtime.
+    Avx512,
+}
+
+impl IsaTier {
+    /// Short display name (`sse2`/`avx2`/`avx512`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaTier::Portable => "portable",
+            IsaTier::Avx2 => "avx2",
+            IsaTier::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Detects the ISA tier the kernels will run on. Cheap to call (the std
+/// detection macro caches in an atomic).
+#[inline]
+pub fn isa_tier() -> IsaTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            return IsaTier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return IsaTier::Avx2;
+        }
+    }
+    IsaTier::Portable
+}
+
+// ---------------------------------------------------------------------------
+// Lane fold (reduce / accumulate kernels)
+// ---------------------------------------------------------------------------
+
+/// The one lane-fold body. Every ISA variant is a monomorphization of this
+/// exact code, so the value computed is ISA-independent by construction.
+#[inline(always)]
+fn fold_block_body<T: Copy>(ident: T, block: &[T], f: impl Fn(T, T) -> T + Copy) -> T {
+    if block.len() < LANES {
+        let mut total = ident;
+        for &x in block {
+            total = f(total, x);
+        }
+        return total;
+    }
+    let mut acc = [ident; LANES];
+    let n = block.len();
+    let mut i = 0;
+    // 4× unrolled main loop. Lane l still folds its elements strictly in
+    // sequence (l, l+LANES, l+2·LANES, …), so the unroll is a scheduling
+    // change only — the combine tree is identical to the 1× loop below.
+    while i + 4 * LANES <= n {
+        let c = &block[i..i + 4 * LANES];
+        for (l, a) in acc.iter_mut().enumerate() {
+            let t = f(*a, c[l]);
+            let t = f(t, c[LANES + l]);
+            let t = f(t, c[2 * LANES + l]);
+            *a = f(t, c[3 * LANES + l]);
+        }
+        i += 4 * LANES;
+    }
+    while i + LANES <= n {
+        let c = &block[i..i + LANES];
+        for (a, &x) in acc.iter_mut().zip(c) {
+            *a = f(*a, x);
+        }
+        i += LANES;
+    }
+    let mut total = acc[0];
+    for &a in &acc[1..] {
+        total = f(total, a);
+    }
+    for &x in &block[i..] {
+        total = f(total, x);
+    }
+    total
+}
+
+/// The pinned-regrouping oracle for [`fold_block`]: same body, no runtime
+/// dispatch. Property tests compare the dispatched kernel against this.
+pub fn fold_block_reference<T: Copy>(ident: T, block: &[T], f: impl Fn(T, T) -> T + Copy) -> T {
+    fold_block_body(ident, block, f)
+}
+
+/// Folds `block` into a single value over [`LANES`] independent
+/// accumulator lanes, dispatching to the widest detected ISA.
+///
+/// Regrouping is pinned (module docs): for regrouping-invariant `f`
+/// (wrapping integer sums, min/max, bitwise, boolean) the result is
+/// bit-identical to a serial fold; for floats it equals
+/// [`fold_block_reference`] on every ISA.
+///
+/// `ident` must be a true identity of `f` — it pads the lane array.
+#[inline]
+pub fn fold_block<T: Copy>(ident: T, block: &[T], f: impl Fn(T, T) -> T + Copy) -> T {
+    #[cfg(target_arch = "x86_64")]
+    match isa_tier() {
+        // SAFETY: the matching features were just detected at runtime.
+        IsaTier::Avx512 => return unsafe { fold_block_avx512(ident, block, f) },
+        // SAFETY: AVX2 was just detected at runtime.
+        IsaTier::Avx2 => return unsafe { fold_block_avx2(ident, block, f) },
+        IsaTier::Portable => {}
+    }
+    fold_block_body(ident, block, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn fold_block_avx2<T: Copy>(ident: T, block: &[T], f: impl Fn(T, T) -> T + Copy) -> T {
+    fold_block_body(ident, block, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx512bw", enable = "avx512vl")]
+fn fold_block_avx512<T: Copy>(ident: T, block: &[T], f: impl Fn(T, T) -> T + Copy) -> T {
+    fold_block_body(ident, block, f)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise slice combine (splittable vector states, aggregated slots)
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn combine_elementwise_body<T: Copy>(a: &mut [T], b: &[T], f: impl Fn(T, T) -> T + Copy) {
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = f(*x, y);
+    }
+}
+
+/// `a[i] = f(a[i], b[i])` over `min(a.len(), b.len())` slots, in place,
+/// dispatched to the widest detected ISA.
+///
+/// Purely elementwise — no regrouping — so this is exact for *every* type,
+/// floats included. This is the segment-combine kernel under the
+/// reduce-scatter/circulant collectives and the aggregated (multi-slot)
+/// reductions.
+#[inline]
+pub fn combine_elementwise<T: Copy>(a: &mut [T], b: &[T], f: impl Fn(T, T) -> T + Copy) {
+    note_kernel_block();
+    combine_elementwise_dispatch(a, b, f)
+}
+
+/// [`combine_elementwise`] without the dispatch-counter tick, for callers
+/// that already account for the enclosing block (e.g. [`count_into`]).
+#[inline]
+fn combine_elementwise_dispatch<T: Copy>(a: &mut [T], b: &[T], f: impl Fn(T, T) -> T + Copy) {
+    #[cfg(target_arch = "x86_64")]
+    match isa_tier() {
+        // SAFETY: the matching features were just detected at runtime.
+        IsaTier::Avx512 => return unsafe { combine_elementwise_avx512(a, b, f) },
+        // SAFETY: AVX2 was just detected at runtime.
+        IsaTier::Avx2 => return unsafe { combine_elementwise_avx2(a, b, f) },
+        IsaTier::Portable => {}
+    }
+    combine_elementwise_body(a, b, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn combine_elementwise_avx2<T: Copy>(a: &mut [T], b: &[T], f: impl Fn(T, T) -> T + Copy) {
+    combine_elementwise_body(a, b, f)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx512bw", enable = "avx512vl")]
+fn combine_elementwise_avx512<T: Copy>(a: &mut [T], b: &[T], f: impl Fn(T, T) -> T + Copy) {
+    combine_elementwise_body(a, b, f)
+}
+
+// ---------------------------------------------------------------------------
+// Scan block kernels
+// ---------------------------------------------------------------------------
+
+/// Serial-order block scan written in slice form: appends one output per
+/// element to `out` and leaves `carry` as the fold through the block.
+///
+/// The combine order is *identical* to the engines' per-element loop, so
+/// the outputs are bit-identical to the scalar path for every type and
+/// every input (NaNs included) — the win comes purely from loop hygiene
+/// (preallocated writes instead of per-element `push`, no per-element
+/// `ScanKind` match). This is the right scan kernel for latency-1
+/// dependent chains (integer sums, bitwise, integer min/max), which
+/// already run at ~1 element/cycle; high-latency float chains use
+/// [`scan_block_network`] instead.
+pub fn scan_block_serial<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut Vec<T>,
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    let start = out.len();
+    out.resize(start + block.len(), *carry);
+    let dst = &mut out[start..];
+    match kind {
+        ScanKind::Inclusive => {
+            let mut c = *carry;
+            for (o, &x) in dst.iter_mut().zip(block) {
+                c = f(c, x);
+                *o = c;
+            }
+            *carry = c;
+        }
+        ScanKind::Exclusive => {
+            let mut c = *carry;
+            for (o, &x) in dst.iter_mut().zip(block) {
+                *o = c;
+                c = f(c, x);
+            }
+            *carry = c;
+        }
+    }
+}
+
+/// One [`SCAN_GROUP`]-wide Hillis–Steele prefix network, hand-unrolled.
+///
+/// Each step reads the pre-step values (`p`), which computes exactly what
+/// the classic in-place descending-index update computes — it is spelled
+/// as three constant-trip elementwise loops so LLVM can turn each step
+/// into shuffle + combine vector ops. The network never applies `ident`:
+/// it is pure regrouping, so it is bit-identical to a serial scan for any
+/// exactly-associative `f` (wrapping ints, bitwise, totally-ordered
+/// min/max).
+#[inline(always)]
+fn network_group<T: Copy>(v: &mut [T; SCAN_GROUP], f: impl Fn(T, T) -> T + Copy) {
+    const _: () = assert!(SCAN_GROUP == 8, "network_group is hand-unrolled for SCAN_GROUP == 8");
+    let p = *v;
+    for j in 1..8 {
+        v[j] = f(p[j - 1], p[j]);
+    }
+    let p = *v;
+    for j in 2..8 {
+        v[j] = f(p[j - 2], p[j]);
+    }
+    let p = *v;
+    for j in 4..8 {
+        v[j] = f(p[j - 4], p[j]);
+    }
+}
+
+/// Groups per super-chunk in [`scan_block_network_body`]. Pass 1 runs
+/// `SUPER` group networks with no carry on the critical path; pass 2
+/// threads the carry through the group totals. The combine tree is
+/// identical to processing one group at a time — the split is purely a
+/// scheduling change, so `SUPER` is *not* part of the pinned contract.
+const SCAN_SUPER: usize = 16;
+
+/// The one network-scan body; every ISA variant monomorphizes this code.
+#[inline(always)]
+fn scan_block_network_body<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut [T],
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    const W: usize = SCAN_GROUP;
+    debug_assert_eq!(block.len(), out.len());
+    // Pass-1/pass-2 super-chunks: the group networks are mutually
+    // independent, so they pipeline; only the cheap per-group total fold
+    // sits on the serial carry chain.
+    let mut super_b = block.chunks_exact(W * SCAN_SUPER);
+    let mut super_o = out.chunks_exact_mut(W * SCAN_SUPER);
+    for (sb, so) in (&mut super_b).zip(&mut super_o) {
+        let mut totals = [sb[0]; SCAN_SUPER];
+        for ((group, og), t) in sb.chunks_exact(W).zip(so.chunks_exact_mut(W)).zip(&mut totals) {
+            let mut v = [group[0]; W];
+            v.copy_from_slice(group);
+            network_group(&mut v, f);
+            *t = v[W - 1];
+            og.copy_from_slice(&v);
+        }
+        for (og, &t) in so.chunks_exact_mut(W).zip(&totals) {
+            let c = *carry;
+            match kind {
+                ScanKind::Inclusive => {
+                    for x in og.iter_mut() {
+                        *x = f(c, *x);
+                    }
+                }
+                ScanKind::Exclusive => {
+                    // In-place shift-by-one: descending j reads the
+                    // not-yet-overwritten scanned value at j − 1.
+                    let mut j = W;
+                    while j > 1 {
+                        j -= 1;
+                        og[j] = f(c, og[j - 1]);
+                    }
+                    og[0] = c;
+                }
+            }
+            *carry = f(c, t);
+        }
+    }
+    let mut groups = super_b.remainder().chunks_exact(W);
+    let mut outs = super_o.into_remainder().chunks_exact_mut(W);
+    for (group, og) in (&mut groups).zip(&mut outs) {
+        let mut v = [group[0]; W];
+        v.copy_from_slice(group);
+        network_group(&mut v, f);
+        let c = *carry;
+        match kind {
+            ScanKind::Inclusive => {
+                for (o, &x) in og.iter_mut().zip(&v) {
+                    *o = f(c, x);
+                }
+            }
+            ScanKind::Exclusive => {
+                og[0] = c;
+                for (o, &x) in og[1..].iter_mut().zip(&v[..W - 1]) {
+                    *o = f(c, x);
+                }
+            }
+        }
+        *carry = f(c, v[W - 1]);
+    }
+    let mut c = *carry;
+    for (o, &x) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+        match kind {
+            ScanKind::Inclusive => {
+                c = f(c, x);
+                *o = c;
+            }
+            ScanKind::Exclusive => {
+                *o = c;
+                c = f(c, x);
+            }
+        }
+    }
+    *carry = c;
+}
+
+/// The pinned-regrouping oracle for [`scan_block_network`]: same body, no
+/// dispatch, spelled out for property tests.
+pub fn scan_block_network_reference<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut Vec<T>,
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    let start = out.len();
+    out.resize(start + block.len(), *carry);
+    scan_block_network_body(carry, block, &mut out[start..], f, kind);
+}
+
+/// Block scan through a pinned [`SCAN_GROUP`]-wide Hillis–Steele prefix
+/// network with a serial carry between groups, dispatched to the widest
+/// detected ISA. Appends one output per element to `out`; leaves `carry`
+/// as the (network-grouped) fold through the block.
+///
+/// For regrouping-invariant `f` the outputs equal the serial scan; for
+/// floats they equal [`scan_block_network_reference`] on every ISA — the
+/// per-group regrouping is part of the result's definition, pinned by
+/// [`SCAN_GROUP`].
+pub fn scan_block_network<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut Vec<T>,
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    let start = out.len();
+    out.resize(start + block.len(), *carry);
+    let dst = &mut out[start..];
+    #[cfg(target_arch = "x86_64")]
+    match isa_tier() {
+        // SAFETY: the matching features were just detected at runtime.
+        IsaTier::Avx512 => return unsafe { scan_block_network_avx512(carry, block, dst, f, kind) },
+        // SAFETY: AVX2 was just detected at runtime.
+        IsaTier::Avx2 => return unsafe { scan_block_network_avx2(carry, block, dst, f, kind) },
+        IsaTier::Portable => {}
+    }
+    scan_block_network_body(carry, block, dst, f, kind)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn scan_block_network_avx2<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut [T],
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    scan_block_network_body(carry, block, out, f, kind)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx512bw", enable = "avx512vl")]
+fn scan_block_network_avx512<T: Copy>(
+    carry: &mut T,
+    block: &[T],
+    out: &mut [T],
+    f: impl Fn(T, T) -> T + Copy,
+    kind: ScanKind,
+) {
+    scan_block_network_body(carry, block, out, f, kind)
+}
+
+// ---------------------------------------------------------------------------
+// Bucketed counting (Histogram / Counts fast path)
+// ---------------------------------------------------------------------------
+
+/// Sub-histogram ways for [`count_into`]. Breaks the store-to-load
+/// forwarding stall when consecutive elements land in the same bucket.
+const COUNT_WAYS: usize = 4;
+/// Largest table replicated per way (4 × 2048 × 8 B = 64 KiB of scratch).
+const COUNT_MAX_REPLICATED: usize = 2048;
+/// Minimum block size worth the scratch allocation and final fold.
+const COUNT_MIN_BLOCK: usize = 4 * LANES;
+
+/// Increments `counts[index_of(x)]` for every `x` in `block` — the
+/// bucketed accumulate kernel under `Histogram`/`Counts`.
+///
+/// For small tables and large blocks the counts are kept in
+/// [`COUNT_WAYS`] interleaved sub-tables (so a run of same-bucket inputs
+/// does not serialize on one memory cell) and folded back with a
+/// vectorized elementwise add. Counting is commutative integer addition,
+/// so the result is bit-identical to the naive loop either way.
+/// `index_of` is called once per element in input order — panics and
+/// side effects happen exactly as in the scalar loop.
+///
+/// Does not tick the dispatch counters itself: it runs under
+/// [`crate::op::accumulate_block`], which accounts for the block.
+pub fn count_into<T>(counts: &mut [u64], block: &[T], index_of: impl Fn(&T) -> usize) {
+    let k = counts.len();
+    if k == 0 || k > COUNT_MAX_REPLICATED || block.len() < COUNT_MIN_BLOCK {
+        for x in block {
+            counts[index_of(x)] += 1;
+        }
+        return;
+    }
+    let mut sub = vec![0u64; (COUNT_WAYS - 1) * k];
+    let mut quads = block.chunks_exact(COUNT_WAYS);
+    for quad in &mut quads {
+        // Way 0 is `counts` itself, ways 1.. are the scratch sub-tables.
+        counts[index_of(&quad[0])] += 1;
+        sub[index_of(&quad[1])] += 1;
+        sub[k + index_of(&quad[2])] += 1;
+        sub[2 * k + index_of(&quad[3])] += 1;
+    }
+    for x in quads.remainder() {
+        counts[index_of(x)] += 1;
+    }
+    let (s1, rest) = sub.split_at(k);
+    let (s2, s3) = rest.split_at(k);
+    combine_elementwise_dispatch(counts, s1, |a, b| a + b);
+    combine_elementwise_dispatch(counts, s2, |a, b| a + b);
+    combine_elementwise_dispatch(counts, s3, |a, b| a + b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_block_integer_matches_serial_all_lengths() {
+        for n in 0..(4 * LANES + 3) {
+            let data: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 101 - 50).collect();
+            let serial = data.iter().fold(0i64, |a, &b| a.wrapping_add(b));
+            assert_eq!(fold_block(0i64, &data, |a, b| a.wrapping_add(b)), serial, "n={n}");
+            assert_eq!(
+                fold_block_reference(0i64, &data, |a, b| a.wrapping_add(b)),
+                serial,
+                "reference n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_block_float_matches_pinned_reference() {
+        for n in 0..(4 * LANES + 3) {
+            let data: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 1e3).collect();
+            let kernel = fold_block(0.0f64, &data, |a, b| a + b);
+            let reference = fold_block_reference(0.0f64, &data, |a, b| a + b);
+            assert_eq!(kernel.to_bits(), reference.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_serial_is_bit_identical_to_loop() {
+        for n in 0..(4 * SCAN_GROUP + 3) {
+            let data: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let mut expect = Vec::new();
+                let mut c = 0i64;
+                for &x in &data {
+                    match kind {
+                        ScanKind::Inclusive => {
+                            c += x;
+                            expect.push(c);
+                        }
+                        ScanKind::Exclusive => {
+                            expect.push(c);
+                            c += x;
+                        }
+                    }
+                }
+                let mut out = Vec::new();
+                let mut carry = 0i64;
+                scan_block_serial(&mut carry, &data, &mut out, |a, b| a + b, kind);
+                assert_eq!(out, expect, "n={n} kind={kind:?}");
+                assert_eq!(carry, c, "carry n={n} kind={kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_network_integer_matches_serial_and_float_matches_reference() {
+        for n in 0..(4 * SCAN_GROUP + 3) {
+            let di: Vec<i64> = (0..n as i64).map(|i| (i * 13) % 23 - 11).collect();
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let mut serial = Vec::new();
+                let mut cs = 0i64;
+                scan_block_serial(&mut cs, &di, &mut serial, |a, b| a.wrapping_add(b), kind);
+                let mut net = Vec::new();
+                let mut cn = 0i64;
+                scan_block_network(&mut cn, &di, &mut net, |a, b| a.wrapping_add(b), kind);
+                assert_eq!(net, serial, "i64 n={n} kind={kind:?}");
+                assert_eq!(cn, cs, "i64 carry n={n} kind={kind:?}");
+
+                let df: Vec<f64> = di.iter().map(|&x| x as f64 / 3.0).collect();
+                let mut reference = Vec::new();
+                let mut cr = 0.0f64;
+                scan_block_network_reference(&mut cr, &df, &mut reference, |a, b| a + b, kind);
+                let mut kernel = Vec::new();
+                let mut ck = 0.0f64;
+                scan_block_network(&mut ck, &df, &mut kernel, |a, b| a + b, kind);
+                let kb: Vec<u64> = kernel.iter().map(|x| x.to_bits()).collect();
+                let rb: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(kb, rb, "f64 n={n} kind={kind:?}");
+                assert_eq!(ck.to_bits(), cr.to_bits(), "f64 carry n={n} kind={kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_elementwise_is_exact() {
+        let mut a: Vec<f64> = (0..100).map(|i| i as f64 / 7.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i * i) as f64 / 11.0).collect();
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        combine_elementwise(&mut a, &b, |x, y| x + y);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn count_into_matches_naive_both_paths() {
+        // Small block → scalar path; large block → interleaved path.
+        for n in [7usize, 1000] {
+            let data: Vec<usize> = (0..n).map(|i| (i * 7 + 1) % 13).collect();
+            let mut naive = vec![0u64; 13];
+            for &x in &data {
+                naive[x] += 1;
+            }
+            let mut kernel = vec![0u64; 13];
+            count_into(&mut kernel, &data, |&x| x);
+            assert_eq!(kernel, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_are_monotone() {
+        let (k0, s0) = dispatch_counts();
+        note_kernel_block();
+        note_scalar_block();
+        let (k1, s1) = dispatch_counts();
+        assert!(k1 >= k0 + 1);
+        assert!(s1 >= s0 + 1);
+    }
+
+    #[test]
+    fn isa_tier_is_stable() {
+        assert_eq!(isa_tier(), isa_tier());
+    }
+}

@@ -42,6 +42,8 @@
 //!   local-view operator) and its adapter into the full trait.
 //! * [`seq`] / [`par`] — sequential and shared-memory engines (Listings 2
 //!   and 3).
+//! * [`kernel`] — vector-lane block kernels under the engines (pinned
+//!   lane regrouping, runtime ISA dispatch, dispatch counters).
 //! * [`agg`] — element-wise aggregated reductions and scans (§2.1).
 //! * [`ops`] — the operator library (built-ins, `mink`, `mini`, `counts`,
 //!   `sorted`, `TopBottomK`, …).
@@ -54,6 +56,7 @@
 pub mod agg;
 pub mod define;
 pub mod iter;
+pub mod kernel;
 pub mod monoid;
 pub mod op;
 pub mod ops;

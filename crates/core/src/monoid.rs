@@ -7,7 +7,7 @@
 //! commutativity flag), and [`MonoidOp`] lifts any monoid into a full
 //! [`ReduceScanOp`], deriving the accumulate and generate functions.
 
-use crate::op::ReduceScanOp;
+use crate::op::{ReduceScanOp, ScanKind};
 
 /// An identity element and an associative combine over a single type — the
 /// local-view operator of paper §2.
@@ -25,6 +25,35 @@ pub trait Monoid {
     /// `a = a ⊕ b`. For non-commutative monoids `a`'s elements precede
     /// `b`'s.
     fn combine(&self, a: &mut Self::T, b: &Self::T);
+
+    /// Block-kernel hook: folds a whole slice into `a` at once. Returning
+    /// `false` (the default) keeps the per-element combine loop; kernels
+    /// (see [`crate::kernel`]) must honor the pinned regrouping contract.
+    /// Only commutative monoids should install a lane kernel — the lane
+    /// fold interleaves elements across lanes.
+    fn combine_block(&self, _a: &mut Self::T, _block: &[Self::T]) -> bool {
+        false
+    }
+
+    /// Block-kernel hook for elementwise slice combine:
+    /// `a[i] = a[i] ⊕ b[i]`. Exact for every type (no regrouping).
+    /// Returning `false` (the default) keeps the per-slot loop.
+    fn combine_elementwise(&self, _a: &mut [Self::T], _b: &[Self::T]) -> bool {
+        false
+    }
+
+    /// Block-kernel hook for scans: appends one output per element of
+    /// `block` to `out` and leaves `carry` as the running fold through the
+    /// block. Returning `false` (the default) keeps the per-element loop.
+    fn scan_block(
+        &self,
+        _carry: &mut Self::T,
+        _block: &[Self::T],
+        _out: &mut Vec<Self::T>,
+        _kind: ScanKind,
+    ) -> bool {
+        false
+    }
 }
 
 /// A monoid whose combine can be inverted: `uncombine(a ⊕ b, b) = a`.
@@ -87,6 +116,37 @@ where
 
     fn scan_gen(&self, state: &M::T, _x: &M::T) -> M::T {
         state.clone()
+    }
+
+    fn accum_block(&self, state: &mut M::T, block: &[M::T]) -> bool {
+        self.0.combine_block(state, block)
+    }
+
+    fn scan_block(
+        &self,
+        state: &mut M::T,
+        block: &[M::T],
+        out: &mut Vec<M::T>,
+        kind: ScanKind,
+    ) -> bool {
+        self.0.scan_block(state, block, out, kind)
+    }
+
+    fn combine_slots(&self, earlier: &mut [M::T], later: Vec<M::T>) {
+        if !self.0.combine_elementwise(earlier, &later) {
+            crate::kernel::note_scalar_block();
+            for (a, b) in earlier.iter_mut().zip(&later) {
+                self.0.combine(a, b);
+            }
+        }
+    }
+
+    fn accum_slots(&self, states: &mut [M::T], row: &[M::T]) {
+        if !self.0.combine_elementwise(states, row) {
+            for (s, x) in states.iter_mut().zip(row) {
+                self.0.combine(s, x);
+            }
+        }
     }
 }
 

@@ -145,6 +145,59 @@ pub trait ReduceScanOp {
     fn combine_ops(&self, _incoming: &Self::State) -> u64 {
         1
     }
+
+    /// Block-kernel hook for the accumulate phase: folds a whole run of
+    /// elements into `state` at once, *without* the `pre_accum`/`post_accum`
+    /// hooks ([`accumulate_block`] wraps those around it).
+    ///
+    /// Returning `false` (the default) makes every engine fall back to the
+    /// per-element [`accum`](Self::accum) loop, so user-defined operators
+    /// keep working unchanged. Implementations that return `true` must
+    /// leave `state` exactly as the kernel's documented regrouping
+    /// specifies (see [`crate::kernel`] for the pinned float contract;
+    /// regrouping-invariant operators must match the scalar loop
+    /// bit-for-bit).
+    fn accum_block(&self, _state: &mut Self::State, _block: &[Self::In]) -> bool {
+        false
+    }
+
+    /// Block-kernel hook for the rescan phase: appends one output per
+    /// element of `block` to `out` and leaves `state` as the running state
+    /// after the block (the engines' per-element `scan_gen`/`accum`
+    /// interleave, batched).
+    ///
+    /// Returning `false` (the default) falls back to the per-element loop.
+    fn scan_block(
+        &self,
+        _state: &mut Self::State,
+        _block: &[Self::In],
+        _out: &mut Vec<Self::Out>,
+        _kind: ScanKind,
+    ) -> bool {
+        false
+    }
+
+    /// Combines a run of per-slot states elementwise:
+    /// `earlier[j] = earlier[j] ⊕ later[j]` (the aggregated-reduction
+    /// combine of paper §2.1). The default is the per-slot
+    /// [`combine`](Self::combine) loop in slot order; operators with
+    /// primitive states may vectorize it.
+    fn combine_slots(&self, earlier: &mut [Self::State], later: Vec<Self::State>) {
+        crate::kernel::note_scalar_block();
+        for (a, b) in earlier.iter_mut().zip(later) {
+            self.combine(a, b);
+        }
+    }
+
+    /// Accumulates one input per slot: `states[j] ⊕= row[j]` (the
+    /// aggregated accumulate of paper §2.1). Default is the per-slot
+    /// [`accum`](Self::accum) loop; monoid-backed operators may vectorize
+    /// it since their accumulate *is* their combine.
+    fn accum_slots(&self, states: &mut [Self::State], row: &[Self::In]) {
+        for (s, x) in states.iter_mut().zip(row) {
+            self.accum(s, x);
+        }
+    }
 }
 
 /// Operators pass by reference transparently: `&Op` is itself an operator.
@@ -185,6 +238,24 @@ impl<Op: ReduceScanOp + ?Sized> ReduceScanOp for &Op {
     fn combine_ops(&self, incoming: &Self::State) -> u64 {
         (**self).combine_ops(incoming)
     }
+    fn accum_block(&self, state: &mut Self::State, block: &[Self::In]) -> bool {
+        (**self).accum_block(state, block)
+    }
+    fn scan_block(
+        &self,
+        state: &mut Self::State,
+        block: &[Self::In],
+        out: &mut Vec<Self::Out>,
+        kind: ScanKind,
+    ) -> bool {
+        (**self).scan_block(state, block, out, kind)
+    }
+    fn combine_slots(&self, earlier: &mut [Self::State], later: Vec<Self::State>) {
+        (**self).combine_slots(earlier, later);
+    }
+    fn accum_slots(&self, states: &mut [Self::State], row: &[Self::In]) {
+        (**self).accum_slots(states, row);
+    }
 }
 
 /// Accumulates a full block of elements into `state`, applying the
@@ -192,8 +263,34 @@ impl<Op: ReduceScanOp + ?Sized> ReduceScanOp for &Op {
 /// for empty blocks).
 ///
 /// This helper is the single definition of the accumulate phase shared by
-/// every engine in the repository.
+/// every engine in the repository. The inner element loop dispatches to
+/// the operator's [`ReduceScanOp::accum_block`] kernel when it has one,
+/// falling back to the per-element `accum` loop otherwise; either way the
+/// dispatch is recorded in the [`crate::kernel`] counters.
 pub fn accumulate_block<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    state: &mut Op::State,
+    block: &[Op::In],
+) {
+    if let (Some(first), Some(last)) = (block.first(), block.last()) {
+        op.pre_accum(state, first);
+        if op.accum_block(state, block) {
+            crate::kernel::note_kernel_block();
+        } else {
+            crate::kernel::note_scalar_block();
+            for x in block {
+                op.accum(state, x);
+            }
+        }
+        op.post_accum(state, last);
+    }
+}
+
+/// [`accumulate_block`] with the block kernel forcibly bypassed: always
+/// the per-element `accum` loop (hooks included). This is the scalar
+/// baseline the kernel micro-benchmark and the kernel property tests
+/// measure and compare against.
+pub fn accumulate_block_scalar<Op: ReduceScanOp + ?Sized>(
     op: &Op,
     state: &mut Op::State,
     block: &[Op::In],
@@ -204,6 +301,70 @@ pub fn accumulate_block<Op: ReduceScanOp + ?Sized>(
             op.accum(state, x);
         }
         op.post_accum(state, last);
+    }
+}
+
+/// Scans a full block of elements: appends one output per element to
+/// `out`, leaving `state` as the running fold through the block. This is
+/// the single definition of the (re)scan loop shared by the sequential
+/// engine, the shared-memory engine's rescan phase, and the
+/// message-passing local rescan.
+///
+/// Dispatches to the operator's [`ReduceScanOp::scan_block`] kernel when it
+/// has one, falling back to the per-element Listing 3 loop otherwise;
+/// either way the dispatch is recorded in the [`crate::kernel`] counters.
+/// The `pre_accum`/`post_accum` hooks do not participate — they only run in
+/// the accumulate phase feeding the cross-processor combine.
+pub fn rescan_block<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    state: &mut Op::State,
+    block: &[Op::In],
+    kind: ScanKind,
+    out: &mut Vec<Op::Out>,
+) {
+    if block.is_empty() {
+        return;
+    }
+    if op.scan_block(state, block, out, kind) {
+        crate::kernel::note_kernel_block();
+    } else {
+        crate::kernel::note_scalar_block();
+        for x in block {
+            match kind {
+                ScanKind::Exclusive => {
+                    out.push(op.scan_gen(state, x));
+                    op.accum(state, x);
+                }
+                ScanKind::Inclusive => {
+                    op.accum(state, x);
+                    out.push(op.scan_gen(state, x));
+                }
+            }
+        }
+    }
+}
+
+/// [`rescan_block`] with the scan kernel forcibly bypassed: always the
+/// per-element Listing 3 loop. The scalar baseline for the kernel
+/// micro-benchmark and the kernel property tests.
+pub fn rescan_block_scalar<Op: ReduceScanOp + ?Sized>(
+    op: &Op,
+    state: &mut Op::State,
+    block: &[Op::In],
+    kind: ScanKind,
+    out: &mut Vec<Op::Out>,
+) {
+    for x in block {
+        match kind {
+            ScanKind::Exclusive => {
+                out.push(op.scan_gen(state, x));
+                op.accum(state, x);
+            }
+            ScanKind::Inclusive => {
+                op.accum(state, x);
+                out.push(op.scan_gen(state, x));
+            }
+        }
     }
 }
 

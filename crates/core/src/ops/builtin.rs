@@ -8,8 +8,48 @@
 
 use std::marker::PhantomData;
 
+use crate::kernel;
 use crate::monoid::{Monoid, MonoidOp};
+use crate::op::ScanKind;
 use crate::ops::num::{Bits, Bounded, Num};
+
+/// Implements the three [`Monoid`] block-kernel hooks from a combine
+/// closure: lane-fold accumulate, elementwise slice combine, and a scan
+/// kernel chosen by `$exact`. Regrouping-exact closures (wrapping integer
+/// sums, bitwise/boolean ops, integer min/max) scan through the
+/// serial-order slice kernel: a latency-1 dependent chain already runs at
+/// ~1 element/cycle, so serial order is both bit-identical to the scalar
+/// loop *and* the fastest choice. Float closures (multi-cycle latency
+/// chains) scan through the pinned prefix-network regrouping of
+/// [`crate::kernel`] instead, which trades serial order for instruction
+/// parallelism.
+macro_rules! impl_monoid_kernels {
+    ($f:expr, $exact:expr) => {
+        fn combine_block(&self, a: &mut Self::T, block: &[Self::T]) -> bool {
+            let folded = kernel::fold_block(self.identity(), block, $f);
+            self.combine(a, &folded);
+            true
+        }
+        fn combine_elementwise(&self, a: &mut [Self::T], b: &[Self::T]) -> bool {
+            kernel::combine_elementwise(a, b, $f);
+            true
+        }
+        fn scan_block(
+            &self,
+            carry: &mut Self::T,
+            block: &[Self::T],
+            out: &mut Vec<Self::T>,
+            kind: ScanKind,
+        ) -> bool {
+            if $exact {
+                kernel::scan_block_serial(carry, block, out, $f, kind);
+            } else {
+                kernel::scan_block_network(carry, block, out, $f, kind);
+            }
+            true
+        }
+    };
+}
 
 /// Sum (`MPI_SUM`). Integer sums wrap; float sums are subject to the usual
 /// non-associativity caveat.
@@ -24,6 +64,7 @@ impl<T: Num> Monoid for Sum<T> {
     fn combine(&self, a: &mut T, b: &T) {
         *a = a.add(*b);
     }
+    impl_monoid_kernels!(|x: T, y: T| x.add(y), T::REGROUP_EXACT);
 }
 
 impl<T: Num> crate::monoid::InvertibleMonoid for Sum<T> {
@@ -46,6 +87,7 @@ impl<T: Num> Monoid for Prod<T> {
     fn combine(&self, a: &mut T, b: &T) {
         *a = a.mul(*b);
     }
+    impl_monoid_kernels!(|x: T, y: T| x.mul(y), T::REGROUP_EXACT);
 }
 
 /// Minimum (`MPI_MIN`). Identity is the type's greatest value, matching the
@@ -63,6 +105,13 @@ impl<T: Bounded> Monoid for Min<T> {
             *a = *b;
         }
     }
+    // Integer min/max scans stay serial-order (regrouping-exact), so they
+    // are bit-identical to the scalar loop for every input. Float min/max
+    // use the network scan: selection never rounds, so that too is
+    // bit-identical on totally-ordered data — the pinned regrouping is
+    // observable only for NaN / mixed-zero inputs (module docs of
+    // `crate::kernel`).
+    impl_monoid_kernels!(|x: T, y: T| if y < x { y } else { x }, T::REGROUP_EXACT);
 }
 
 /// Maximum (`MPI_MAX`).
@@ -79,6 +128,7 @@ impl<T: Bounded> Monoid for Max<T> {
             *a = *b;
         }
     }
+    impl_monoid_kernels!(|x: T, y: T| if y > x { y } else { x }, T::REGROUP_EXACT);
 }
 
 /// Logical and (`MPI_LAND`).
@@ -93,6 +143,9 @@ impl Monoid for LAnd {
     fn combine(&self, a: &mut bool, b: &bool) {
         *a = *a && *b;
     }
+    // `&` on bool is value-identical to `&&`; the non-short-circuit form
+    // vectorizes.
+    impl_monoid_kernels!(|x: bool, y: bool| x & y, true);
 }
 
 /// Logical or (`MPI_LOR`).
@@ -107,6 +160,7 @@ impl Monoid for LOr {
     fn combine(&self, a: &mut bool, b: &bool) {
         *a = *a || *b;
     }
+    impl_monoid_kernels!(|x: bool, y: bool| x | y, true);
 }
 
 /// Logical xor (`MPI_LXOR`).
@@ -121,6 +175,7 @@ impl Monoid for LXor {
     fn combine(&self, a: &mut bool, b: &bool) {
         *a = *a != *b;
     }
+    impl_monoid_kernels!(|x: bool, y: bool| x ^ y, true);
 }
 
 /// Bit-wise and (`MPI_BAND`).
@@ -135,6 +190,7 @@ impl<T: Bits> Monoid for BAnd<T> {
     fn combine(&self, a: &mut T, b: &T) {
         *a = a.band(*b);
     }
+    impl_monoid_kernels!(|x: T, y: T| x.band(y), true);
 }
 
 /// Bit-wise or (`MPI_BOR`).
@@ -149,6 +205,7 @@ impl<T: Bits> Monoid for BOr<T> {
     fn combine(&self, a: &mut T, b: &T) {
         *a = a.bor(*b);
     }
+    impl_monoid_kernels!(|x: T, y: T| x.bor(y), true);
 }
 
 /// Bit-wise xor (`MPI_BXOR`).
@@ -163,6 +220,7 @@ impl<T: Bits> Monoid for BXor<T> {
     fn combine(&self, a: &mut T, b: &T) {
         *a = a.bxor(*b);
     }
+    impl_monoid_kernels!(|x: T, y: T| x.bxor(y), true);
 }
 
 impl crate::monoid::InvertibleMonoid for LXor {

@@ -52,10 +52,22 @@ impl ReduceScanOp for Counts {
         state[*x] += 1;
     }
 
+    fn accum_block(&self, state: &mut Vec<u64>, block: &[usize]) -> bool {
+        // The closure runs in input order, so the out-of-range panic fires
+        // on the same element (and with the same message) as `accum`.
+        crate::kernel::count_into(state, block, |x| {
+            assert!(
+                *x < self.k,
+                "bucket index {x} out of range for {} buckets",
+                self.k
+            );
+            *x
+        });
+        true
+    }
+
     fn combine(&self, earlier: &mut Vec<u64>, later: Vec<u64>) {
-        for (a, b) in earlier.iter_mut().zip(later) {
-            *a += b;
-        }
+        crate::kernel::combine_elementwise(earlier, &later, |a, b| a + b);
     }
 
     fn red_gen(&self, state: Vec<u64>) -> Vec<u64> {
@@ -126,6 +138,10 @@ impl ReduceScanOp for BucketRank {
 
     fn accum(&self, state: &mut Vec<u64>, x: &usize) {
         self.inner.accum(state, x);
+    }
+
+    fn accum_block(&self, state: &mut Vec<u64>, block: &[usize]) -> bool {
+        self.inner.accum_block(state, block)
     }
 
     fn combine(&self, earlier: &mut Vec<u64>, later: Vec<u64>) {

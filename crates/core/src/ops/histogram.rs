@@ -16,6 +16,29 @@ fn bin_of(edges: &[f64], x: f64) -> usize {
     edges.partition_point(|&e| e <= x)
 }
 
+/// Bin assignment for evenly spaced edges: an arithmetic guess followed by
+/// a fixup walk against the actual edges, so the result is *exactly*
+/// [`bin_of`] (the guess only saves the binary search; rounding error in
+/// the division cannot change the answer).
+#[inline]
+fn bin_of_uniform(edges: &[f64], lo: f64, step: f64, x: f64) -> usize {
+    let m = edges.len();
+    // Saturating float→int cast: NaN and -∞ land on 0, +∞ past m.
+    let mut b = ((x - lo) / step + 1.0) as usize;
+    if b > m {
+        b = m;
+    }
+    // The edges are sorted, so these local adjustments converge on the
+    // unique b with edges[..b] <= x < edges[b..] — the partition point.
+    while b < m && edges[b] <= x {
+        b += 1;
+    }
+    while b > 0 && edges[b - 1] > x {
+        b -= 1;
+    }
+    b
+}
+
 /// Result of a [`Histogram`] reduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramCounts {
@@ -35,6 +58,10 @@ impl HistogramCounts {
 #[derive(Debug, Clone)]
 pub struct Histogram {
     edges: Vec<f64>,
+    /// `(lo, step)` when the edges are known evenly spaced (built by
+    /// [`Histogram::uniform`]); lets `accum_block` guess bins
+    /// arithmetically instead of binary-searching.
+    uniform: Option<(f64, f64)>,
 }
 
 impl Histogram {
@@ -53,14 +80,19 @@ impl Histogram {
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly increasing"
         );
-        Histogram { edges }
+        Histogram {
+            edges,
+            uniform: None,
+        }
     }
 
     /// Evenly spaced edges covering `[lo, hi]` with `bins` interior bins.
     pub fn uniform(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins >= 1 && hi > lo);
         let step = (hi - lo) / bins as f64;
-        Self::new((0..=bins).map(|i| lo + step * i as f64).collect())
+        let mut h = Self::new((0..=bins).map(|i| lo + step * i as f64).collect());
+        h.uniform = Some((lo, step));
+        h
     }
 
     /// Number of bins, including the two open-ended ones.
@@ -90,10 +122,18 @@ impl ReduceScanOp for Histogram {
         state[bin_of(&self.edges, *x)] += 1;
     }
 
-    fn combine(&self, earlier: &mut Vec<u64>, later: Vec<u64>) {
-        for (a, b) in earlier.iter_mut().zip(later) {
-            *a += b;
+    fn accum_block(&self, state: &mut Vec<u64>, block: &[f64]) -> bool {
+        match self.uniform {
+            Some((lo, step)) => crate::kernel::count_into(state, block, |x| {
+                bin_of_uniform(&self.edges, lo, step, *x)
+            }),
+            None => crate::kernel::count_into(state, block, |x| bin_of(&self.edges, *x)),
         }
+        true
+    }
+
+    fn combine(&self, earlier: &mut Vec<u64>, later: Vec<u64>) {
+        crate::kernel::combine_elementwise(earlier, &later, |a, b| a + b);
     }
 
     fn red_gen(&self, state: Vec<u64>) -> HistogramCounts {
@@ -180,5 +220,46 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn bad_edges_panic() {
         Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn uniform_bin_guess_matches_binary_search() {
+        let h = Histogram::uniform(-3.0, 5.0, 7);
+        let (lo, step) = h.uniform.unwrap();
+        let mut probes: Vec<f64> = vec![
+            f64::NAN,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            -1e300,
+            1e300,
+            -3.0,
+            5.0,
+            4.999999999999999,
+            -3.0000000000000004,
+        ];
+        probes.extend(h.edges().to_vec());
+        probes.extend((0..1000).map(|i| -4.0 + (i as f64) * 0.01));
+        for x in probes {
+            assert_eq!(
+                bin_of_uniform(h.edges(), lo, step, x),
+                bin_of(h.edges(), x),
+                "uniform guess diverged at x = {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_accumulate_matches_scalar_accumulate() {
+        // Long enough to take the replicated-table path in count_into.
+        let data: Vec<f64> = (0..4096).map(|i| ((i * 37) % 1000) as f64 / 83.0).collect();
+        for h in [Histogram::uniform(0.0, 12.0, 24), Histogram::new(vec![1.0, 2.0, 7.5])] {
+            let mut kernel_state = h.ident();
+            assert!(h.accum_block(&mut kernel_state, &data));
+            let mut scalar_state = h.ident();
+            for x in &data {
+                h.accum(&mut scalar_state, x);
+            }
+            assert_eq!(kernel_state, scalar_state);
+        }
     }
 }

@@ -14,6 +14,14 @@ pub trait Num: Copy + PartialOrd + std::fmt::Debug {
     const ZERO: Self;
     /// Multiplicative identity.
     const ONE: Self;
+    /// Whether `add`/`mul` are invariant under regrouping (associative in
+    /// the bit-exact sense). True for the wrapping integer ops, false for
+    /// floats — the built-in scan kernels use this to pick between the
+    /// serial-order slice kernel (bit-identical, and the faster choice for
+    /// latency-1 integer chains) and the pinned prefix-network regrouping
+    /// of [`crate::kernel`] (the faster choice for high-latency float
+    /// chains).
+    const REGROUP_EXACT: bool = false;
     /// Addition.
     fn add(self, other: Self) -> Self;
     /// Subtraction (the inverse of `add`; wrapping for integers).
@@ -29,6 +37,11 @@ pub trait Bounded: Copy + PartialOrd + std::fmt::Debug {
     const MIN_VALUE: Self;
     /// Greatest value of the type.
     const MAX_VALUE: Self;
+    /// Whether comparison-based selection (`min`/`max`) is invariant under
+    /// regrouping in the bit-exact sense. True for totally-ordered integer
+    /// types, false for floats (NaN and +0/−0 break associativity) — same
+    /// role as [`Num::REGROUP_EXACT`] for the additive ops.
+    const REGROUP_EXACT: bool = false;
 }
 
 /// Integer types supporting the MPI bit-wise reduction operators.
@@ -50,6 +63,7 @@ macro_rules! impl_num_int {
         impl Num for $t {
             const ZERO: Self = 0;
             const ONE: Self = 1;
+            const REGROUP_EXACT: bool = true;
             #[inline]
             fn add(self, other: Self) -> Self { self.wrapping_add(other) }
             #[inline]
@@ -60,6 +74,7 @@ macro_rules! impl_num_int {
         impl Bounded for $t {
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
+            const REGROUP_EXACT: bool = true;
         }
         impl Bits for $t {
             const ALL_ZEROS: Self = 0;

@@ -11,7 +11,7 @@
 use gv_executor::chunks::chunk_ranges;
 use gv_executor::Pool;
 
-use crate::op::{accumulate_block, ReduceScanOp, ScanKind};
+use crate::op::{accumulate_block, rescan_block, ReduceScanOp, ScanKind};
 
 /// Combines `states` (already in set order) pairwise along an in-order
 /// binary tree until one state remains. Returns the identity for an empty
@@ -21,23 +21,31 @@ use crate::op::{accumulate_block, ReduceScanOp, ScanKind};
 /// order, so this is correct for non-commutative associative operators; the
 /// tree shape mirrors what the message-passing layer does with log-depth
 /// communication.
+///
+/// Runs in place over a single buffer by gap doubling: round `g` combines
+/// slot `i` with slot `i + g` for `i ≡ 0 (mod 2g)`, so after the round slot
+/// `i` holds the fold of original states `[i, min(i + 2g, n))`. That is
+/// *exactly* the combine tree of per-level adjacent pairing (the order of
+/// every `combine` call is identical — pinned by a unit test), without
+/// allocating a fresh vector per level.
 pub fn tree_combine<Op: ReduceScanOp + ?Sized>(op: &Op, states: Vec<Op::State>) -> Op::State {
-    let mut level = states;
-    if level.is_empty() {
+    if states.is_empty() {
         return op.ident();
     }
-    while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        let mut iter = level.into_iter();
-        while let Some(mut left) = iter.next() {
-            if let Some(right) = iter.next() {
-                op.combine(&mut left, right);
-            }
-            next.push(left);
+    let mut slots: Vec<Option<Op::State>> = states.into_iter().map(Some).collect();
+    let n = slots.len();
+    let mut gap = 1;
+    while gap < n {
+        let mut i = 0;
+        while i + gap < n {
+            let right = slots[i + gap].take().expect("right slot filled");
+            let left = slots[i].as_mut().expect("left slot filled");
+            op.combine(left, right);
+            i += 2 * gap;
         }
-        level = next;
+        gap *= 2;
     }
-    level.pop().expect("non-empty level")
+    slots[0].take().expect("root slot filled")
 }
 
 /// Runs the accumulate phase of Listing 2 in parallel: one state per chunk.
@@ -116,18 +124,7 @@ where
             scope.spawn(move || {
                 let mut state = prefix;
                 let mut out = Vec::with_capacity(chunk.len());
-                for x in chunk {
-                    match kind {
-                        ScanKind::Exclusive => {
-                            out.push(op.scan_gen(&state, x));
-                            op.accum(&mut state, x);
-                        }
-                        ScanKind::Inclusive => {
-                            op.accum(&mut state, x);
-                            out.push(op.scan_gen(&state, x));
-                        }
-                    }
-                }
+                rescan_block(op, &mut state, chunk, kind, &mut out);
                 *slot = Some(out);
             });
         }
@@ -183,6 +180,41 @@ mod tests {
             let expected: String = states.concat();
             assert_eq!(tree_combine(&op, states), expected, "n={n}");
         }
+    }
+
+    /// Fully parenthesizing combine pins not just the *order* but the
+    /// exact grouping of the combine tree. This shape is a semantic
+    /// contract for float operators (regrouping changes rounding): the
+    /// in-place gap-doubling walk must keep producing the adjacent-pairing
+    /// tree of the original per-level implementation.
+    struct Paren;
+    impl Monoid for Paren {
+        type T = String;
+        const COMMUTATIVE: bool = false;
+        fn identity(&self) -> String {
+            String::new()
+        }
+        fn combine(&self, a: &mut String, b: &String) {
+            *a = format!("({a}+{b})");
+        }
+    }
+
+    #[test]
+    fn tree_combine_grouping_is_pinned() {
+        let op = MonoidOp(Paren);
+        let tree = |n: usize| {
+            let states: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            tree_combine(&op, states)
+        };
+        assert_eq!(tree(1), "0");
+        assert_eq!(tree(2), "(0+1)");
+        assert_eq!(tree(3), "((0+1)+2)");
+        assert_eq!(tree(4), "((0+1)+(2+3))");
+        assert_eq!(tree(5), "(((0+1)+(2+3))+4)");
+        assert_eq!(tree(6), "(((0+1)+(2+3))+(4+5))");
+        assert_eq!(tree(7), "(((0+1)+(2+3))+((4+5)+6))");
+        assert_eq!(tree(8), "(((0+1)+(2+3))+((4+5)+(6+7)))");
+        assert_eq!(tree(9), "((((0+1)+(2+3))+((4+5)+(6+7)))+8)");
     }
 
     #[test]

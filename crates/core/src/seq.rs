@@ -5,7 +5,7 @@
 //! property-tested against this one: for associative operators they must
 //! produce identical results for every chunking/rank decomposition.
 
-use crate::op::{accumulate_block, ReduceScanOp, ScanKind};
+use crate::op::{accumulate_block, rescan_block, ReduceScanOp, ScanKind};
 
 /// Reduces `input` with `op`, sequentially.
 ///
@@ -30,21 +30,7 @@ pub fn scan<Op: ReduceScanOp + ?Sized>(
     input: &[Op::In],
     kind: ScanKind,
 ) -> Vec<Op::Out> {
-    let mut state = op.ident();
-    let mut out = Vec::with_capacity(input.len());
-    for x in input {
-        match kind {
-            ScanKind::Exclusive => {
-                out.push(op.scan_gen(&state, x));
-                op.accum(&mut state, x);
-            }
-            ScanKind::Inclusive => {
-                op.accum(&mut state, x);
-                out.push(op.scan_gen(&state, x));
-            }
-        }
-    }
-    out
+    scan_with_total(op, input, kind).0
 }
 
 /// Scans `input` and additionally returns the final state (the reduction
@@ -57,18 +43,7 @@ pub fn scan_with_total<Op: ReduceScanOp + ?Sized>(
 ) -> (Vec<Op::Out>, Op::State) {
     let mut state = op.ident();
     let mut out = Vec::with_capacity(input.len());
-    for x in input {
-        match kind {
-            ScanKind::Exclusive => {
-                out.push(op.scan_gen(&state, x));
-                op.accum(&mut state, x);
-            }
-            ScanKind::Inclusive => {
-                op.accum(&mut state, x);
-                out.push(op.scan_gen(&state, x));
-            }
-        }
-    }
+    rescan_block(op, &mut state, input, kind, &mut out);
     (out, state)
 }
 

@@ -49,5 +49,5 @@ pub use request::{test_any, wait_all, Request, RequestError};
 pub use runtime::{
     FailureReport, RunError, RunOutcome, Runtime, Transport, DEFAULT_PARK_TIMEOUT,
 };
-pub use stats::{CallKind, Stats, StatsSnapshot, TransportSnapshot};
+pub use stats::{CallKind, KernelSnapshot, Stats, StatsSnapshot, TransportSnapshot};
 pub use watchdog::{BlockedOn, RankStall, RankState, StallReport};

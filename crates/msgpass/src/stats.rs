@@ -180,6 +180,40 @@ impl TransportStats {
     }
 }
 
+/// A point-in-time copy of the intra-rank block-kernel dispatch counters
+/// (`gv_core::kernel`): how many accumulate/scan/combine blocks went
+/// through a vectorized kernel vs the per-element scalar loop.
+///
+/// Like the transport counters, these are *observed* mechanics, not
+/// modeled semantics — they are excluded from every determinism pin
+/// (recordings compare calls/messages/bytes, never dispatch counts).
+/// Unlike every other counter here, the underlying atomics are
+/// **process-global** (the kernels run beneath all engines, not just this
+/// runtime), so absolute values accumulate across runtimes; use
+/// [`KernelSnapshot::since`] for per-section deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelSnapshot {
+    /// Blocks dispatched to a vectorized block kernel.
+    pub kernel_blocks: u64,
+    /// Blocks that ran the per-element scalar fallback.
+    pub scalar_blocks: u64,
+}
+
+impl KernelSnapshot {
+    /// Total dispatched blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.kernel_blocks + self.scalar_blocks
+    }
+
+    /// Difference against an earlier snapshot, saturating at zero.
+    pub fn since(&self, earlier: &KernelSnapshot) -> KernelSnapshot {
+        KernelSnapshot {
+            kernel_blocks: self.kernel_blocks.saturating_sub(earlier.kernel_blocks),
+            scalar_blocks: self.scalar_blocks.saturating_sub(earlier.scalar_blocks),
+        }
+    }
+}
+
 /// A point-in-time copy of the transport-path counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransportSnapshot {
@@ -296,6 +330,13 @@ impl Stats {
             requests_started: self.requests_started.load(Ordering::Relaxed),
             requests_completed: self.requests_completed.load(Ordering::Relaxed),
             transport: self.transport.snapshot(),
+            kernel: {
+                let (kernel_blocks, scalar_blocks) = gv_core::kernel::dispatch_counts();
+                KernelSnapshot {
+                    kernel_blocks,
+                    scalar_blocks,
+                }
+            },
         }
     }
 }
@@ -317,6 +358,9 @@ pub struct StatsSnapshot {
     pub requests_completed: u64,
     /// Transport-path counters at the same instant.
     pub transport: TransportSnapshot,
+    /// Block-kernel dispatch counters at the same instant (process-global;
+    /// see [`KernelSnapshot`]).
+    pub kernel: KernelSnapshot,
 }
 
 impl StatsSnapshot {
@@ -389,6 +433,7 @@ impl StatsSnapshot {
                 .requests_completed
                 .saturating_sub(earlier.requests_completed),
             transport: self.transport.since(&earlier.transport),
+            kernel: self.kernel.since(&earlier.kernel),
         }
     }
 }
@@ -504,6 +549,21 @@ mod tests {
         let full = stats.snapshot().transport;
         assert_eq!(full.eager_sends, 3);
         assert_eq!(full.ring_recvs, 1);
+    }
+
+    #[test]
+    fn kernel_dispatch_counters_snapshot_and_subtract() {
+        let stats = Stats::new();
+        let before = stats.snapshot();
+        gv_core::kernel::note_kernel_block();
+        gv_core::kernel::note_kernel_block();
+        gv_core::kernel::note_scalar_block();
+        let delta = stats.snapshot().since(&before);
+        // The counters are process-global and other tests run concurrently,
+        // so assert lower bounds only.
+        assert!(delta.kernel.kernel_blocks >= 2);
+        assert!(delta.kernel.scalar_blocks >= 1);
+        assert!(delta.kernel.total_blocks() >= 3);
     }
 
     #[test]

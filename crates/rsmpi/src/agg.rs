@@ -36,10 +36,13 @@ fn combine_states<'a, Op: ReduceScanOp>(
             later.len(),
             "aggregated reduction requires the same row width on every rank"
         );
-        for (a, b) in earlier.iter_mut().zip(later) {
-            comm.advance(op.combine_ops(&b));
-            op.combine(a, b);
-        }
+        // Charge the modeled compute for every slot up front (the same
+        // total the per-slot loop charged), then let the operator combine
+        // the whole slot vector at once — the elementwise block kernel for
+        // built-ins, the per-slot `combine` loop otherwise.
+        let modeled: u64 = later.iter().map(|b| op.combine_ops(b)).sum();
+        comm.advance(modeled);
+        op.combine_slots(&mut earlier, later);
         earlier
     }
 }
@@ -93,20 +96,21 @@ where
         combine_states(comm, op),
     );
     let mut out = Vec::with_capacity(rows.len());
+    // Slots are independent, so generate-then-accumulate can run as two
+    // whole-row passes (letting `accum_slots` use the elementwise kernel)
+    // instead of interleaving per slot — the per-slot result is identical.
     for row in rows {
-        let mut out_row = Vec::with_capacity(width);
-        for (s, x) in running.iter_mut().zip(row.iter()) {
-            match kind {
-                ScanKind::Exclusive => {
-                    out_row.push(op.scan_gen(s, x));
-                    op.accum(s, x);
-                }
-                ScanKind::Inclusive => {
-                    op.accum(s, x);
-                    out_row.push(op.scan_gen(s, x));
-                }
+        let out_row: Vec<Op::Out> = match kind {
+            ScanKind::Exclusive => {
+                let out_row = running.iter().zip(row.iter()).map(|(s, x)| op.scan_gen(s, x)).collect();
+                op.accum_slots(&mut running, row);
+                out_row
             }
-        }
+            ScanKind::Inclusive => {
+                op.accum_slots(&mut running, row);
+                running.iter().zip(row.iter()).map(|(s, x)| op.scan_gen(s, x)).collect()
+            }
+        };
         out.push(out_row);
     }
     comm.advance((rows.len() * width) as u64 * (op.accum_ops() + 1));

@@ -103,7 +103,10 @@ where
 
 /// Listing 3 lines 10–13: rescan the local block from the incoming
 /// exclusive-prefix state, returning the block outputs and the block-final
-/// running state.
+/// running state. The element loop is the shared `gv-core` rescan (block
+/// kernels and all); the modeled cost charged to the clock is unchanged —
+/// it counts semantic `accum`/`scan_gen` applications, not wall time, so
+/// recorded traces stay bit-identical whichever dispatch fires.
 fn rescan_block<Op: ReduceScanOp>(
     comm: &Comm,
     op: &Op,
@@ -112,18 +115,7 @@ fn rescan_block<Op: ReduceScanOp>(
     mut running: Op::State,
 ) -> (Vec<Op::Out>, Op::State) {
     let mut out = Vec::with_capacity(local.len());
-    for x in local {
-        match kind {
-            ScanKind::Exclusive => {
-                out.push(op.scan_gen(&running, x));
-                op.accum(&mut running, x);
-            }
-            ScanKind::Inclusive => {
-                op.accum(&mut running, x);
-                out.push(op.scan_gen(&running, x));
-            }
-        }
-    }
+    gv_core::op::rescan_block(op, &mut running, local, kind, &mut out);
     comm.advance(local.len() as u64 * (op.accum_ops() + 1));
     (out, running)
 }

@@ -28,7 +28,8 @@ for bin in fig2_is_verify fig3_mg_zran3 mpi_call_stats \
            ablation_commutative ablation_aggregation \
            ablation_scan_algorithm ablation_allreduce_algorithm \
            ablation_selector_tuning \
-           transport_microbench k_independent_allreduces; do
+           transport_microbench k_independent_allreduces \
+           kernel_microbench; do
     echo "smoke: $bin"
     ./target/release/"$bin" > /dev/null
 done

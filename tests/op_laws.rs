@@ -325,6 +325,228 @@ fn sortedness_combine_order_is_observable() {
     witness("SortedPaperExact", &SortedPaperExact::<i64>::new());
 }
 
+// ---------------------------------------------------------------------
+// Block-kernel dispatch laws (`gv_core::kernel`): the vectorized path
+// must be bit-identical to the scalar path for regrouping-invariant
+// operators, and bit-identical to the *pinned-regrouping reference* for
+// float sums/products — at every length around the lane-width seams.
+// ---------------------------------------------------------------------
+
+mod kernel_laws {
+    use super::*;
+    use gv_core::kernel::{self, LANES};
+    use gv_core::op::{accumulate_block_scalar, rescan_block, rescan_block_scalar};
+
+    /// Every length from empty through four full lane blocks plus a
+    /// ragged tail: covers the serial short-block path, the exact lane
+    /// boundary, and every remainder length that matters.
+    fn lengths() -> impl Iterator<Item = usize> {
+        0..=(4 * LANES + 3)
+    }
+
+    /// Kernel accumulate and scans must match the forced-scalar loop
+    /// bit-for-bit on every prefix length of `data`.
+    fn assert_dispatch_exact<Op>(name: &str, op: &Op, data: &[Op::In])
+    where
+        Op: ReduceScanOp,
+        Op::In: Clone,
+        Op::State: Clone,
+        Op::Out: PartialEq + std::fmt::Debug,
+    {
+        assert!(data.len() >= 4 * LANES + 3, "{name}: test data too short");
+        for n in lengths() {
+            let block = &data[..n];
+            let mut ks = op.ident();
+            accumulate_block(op, &mut ks, block);
+            let mut ss = op.ident();
+            accumulate_block_scalar(op, &mut ss, block);
+            assert_eq!(
+                op.red_gen(ks),
+                op.red_gen(ss),
+                "{name}: kernel reduce != scalar reduce at n={n}"
+            );
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let mut kstate = op.ident();
+                let mut kout = Vec::new();
+                rescan_block(op, &mut kstate, block, kind, &mut kout);
+                let mut sstate = op.ident();
+                let mut sout = Vec::new();
+                rescan_block_scalar(op, &mut sstate, block, kind, &mut sout);
+                assert_eq!(kout, sout, "{name}: kernel scan != scalar scan at n={n} {kind:?}");
+                assert_eq!(
+                    op.red_gen(kstate),
+                    op.red_gen(sstate),
+                    "{name}: scan carry diverged at n={n} {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integer_kernels_are_bit_identical_to_scalar() {
+        let mut rng = TestRng::new(60);
+        let n = 4 * LANES + 3;
+        let i64s: Vec<i64> = (0..n).map(|_| rng.i64_in(-1000..1000)).collect();
+        assert_dispatch_exact("sum<i64>", &sum::<i64>(), &i64s);
+        assert_dispatch_exact("min<i64>", &min::<i64>(), &i64s);
+        assert_dispatch_exact("max<i64>", &max::<i64>(), &i64s);
+        // ±1 factors keep long products from collapsing to zero, so the
+        // comparison stays meaningful at every length.
+        let signs: Vec<i64> = (0..n).map(|_| if rng.bool() { 1 } else { -1 }).collect();
+        assert_dispatch_exact("prod<i64>", &prod::<i64>(), &signs);
+        // Wrapping overflow must regroup exactly too.
+        let big: Vec<i64> = (0..n).map(|_| rng.i64_in(i64::MAX / 2..i64::MAX)).collect();
+        assert_dispatch_exact("sum<i64> wrapping", &sum::<i64>(), &big);
+    }
+
+    #[test]
+    fn bitwise_and_logical_kernels_are_bit_identical_to_scalar() {
+        let mut rng = TestRng::new(61);
+        let n = 4 * LANES + 3;
+        let words: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        assert_dispatch_exact("band<u64>", &band::<u64>(), &words);
+        assert_dispatch_exact("bor<u64>", &bor::<u64>(), &words);
+        assert_dispatch_exact("bxor<u64>", &bxor::<u64>(), &words);
+        let bools: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
+        assert_dispatch_exact("land", &land(), &bools);
+        assert_dispatch_exact("lor", &lor(), &bools);
+        assert_dispatch_exact("lxor", &lxor(), &bools);
+    }
+
+    #[test]
+    fn bucketed_kernels_are_bit_identical_to_scalar() {
+        let mut rng = TestRng::new(62);
+        let n = 4 * LANES + 3;
+        let buckets: Vec<usize> = (0..n).map(|_| rng.usize_in(0..8)).collect();
+        assert_dispatch_exact("Counts(8)", &Counts::new(8), &buckets);
+        assert_dispatch_exact("BucketRank(8)", &BucketRank::new(8), &buckets);
+        let values: Vec<f64> = (0..n).map(|_| rng.f64_in(-25.0..125.0)).collect();
+        // Counting is exact whatever the dispatch, even over float inputs.
+        assert_dispatch_exact(
+            "Histogram(uniform)",
+            &Histogram::uniform(0.0, 100.0, 8),
+            &values,
+        );
+        assert_dispatch_exact(
+            "Histogram(explicit)",
+            &Histogram::new(vec![-10.0, 0.5, 40.0, 99.0]),
+            &values,
+        );
+    }
+
+    #[test]
+    fn float_min_max_kernels_are_bit_identical_to_scalar() {
+        // Comparison-based folds return one of the inputs, so for NaN-free
+        // data any regrouping is value-identical — the kernels must be
+        // bit-identical to the scalar loop (the NaN caveat is documented
+        // in `gv_core::kernel`).
+        let mut rng = TestRng::new(63);
+        let n = 4 * LANES + 3;
+        let values: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e9..1e9)).collect();
+        assert_dispatch_exact("min<f64>", &min::<f64>(), &values);
+        assert_dispatch_exact("max<f64>", &max::<f64>(), &values);
+    }
+
+    #[test]
+    fn float_sum_prod_kernels_match_the_pinned_regrouping_reference() {
+        // Float addition regroups under the lane fold, so the kernel is
+        // *not* bit-identical to the scalar loop — the contract is that it
+        // is bit-identical to the portable pinned-regrouping reference
+        // (same LANES, same fold order) on every run and every ISA.
+        fn assert_matches_reference<Op>(name: &str, op: &Op, data: &[f64], f: fn(f64, f64) -> f64)
+        where
+            Op: ReduceScanOp<In = f64, State = f64, Out = f64>,
+        {
+            let ident = op.ident();
+            for len in lengths() {
+                let block = &data[..len];
+                let mut state = op.ident();
+                accumulate_block(op, &mut state, block);
+                let expected = f(ident, kernel::fold_block_reference(ident, block, f));
+                assert_eq!(
+                    state.to_bits(),
+                    expected.to_bits(),
+                    "{name}: kernel reduce != pinned reference at n={len}"
+                );
+                for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                    let mut kstate = op.ident();
+                    let mut kout = Vec::new();
+                    rescan_block(op, &mut kstate, block, kind, &mut kout);
+                    let mut rcarry = ident;
+                    let mut rout = Vec::new();
+                    kernel::scan_block_network_reference(&mut rcarry, block, &mut rout, f, kind);
+                    assert_eq!(
+                        kout.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        rout.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{name}: kernel scan != pinned reference at n={len} {kind:?}"
+                    );
+                    assert_eq!(kstate.to_bits(), rcarry.to_bits());
+                }
+            }
+        }
+
+        let mut rng = TestRng::new(64);
+        let n = 4 * LANES + 3;
+        let sums: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e6..1e6)).collect();
+        let muls: Vec<f64> = (0..n).map(|_| rng.f64_in(0.9..1.1)).collect();
+        assert_matches_reference("sum<f64>", &sum::<f64>(), &sums, |x, y| x + y);
+        assert_matches_reference("prod<f64>", &prod::<f64>(), &muls, |x, y| x * y);
+    }
+
+    #[test]
+    fn float_results_are_deterministic_across_runs_and_thread_counts() {
+        // For a fixed decomposition (`parts`), the float result must be
+        // bit-identical however many worker threads execute it and however
+        // many times it runs — the kernels' regrouping depends only on the
+        // pinned LANES/SCAN_GROUP constants, never on scheduling.
+        let mut rng = TestRng::new(65);
+        let data: Vec<f64> = (0..10_000).map(|_| rng.f64_in(-1e6..1e6)).collect();
+        let op = sum::<f64>();
+        let parts = 7;
+        let reference_reduce = par::reduce(&Pool::new(1), parts, &op, &data);
+        let reference_scan = par::scan(&Pool::new(1), parts, &op, &data, ScanKind::Inclusive);
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            for _run in 0..3 {
+                let red = par::reduce(&pool, parts, &op, &data);
+                assert_eq!(
+                    red.to_bits(),
+                    reference_reduce.to_bits(),
+                    "reduce diverged at threads={threads}"
+                );
+                let scan = par::scan(&pool, parts, &op, &data, ScanKind::Inclusive);
+                assert!(
+                    scan.iter()
+                        .zip(&reference_scan)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "scan diverged at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_dispatch_is_observed_in_the_counters() {
+        let (k0, s0) = kernel::dispatch_counts();
+        seq::reduce(&sum::<i64>(), &[1i64; 256]);
+        let (k1, _) = kernel::dispatch_counts();
+        assert!(k1 > k0, "built-in reduce should dispatch to a kernel");
+        struct Opaque;
+        impl gv_core::monoid::Monoid for Opaque {
+            type T = i64;
+            fn identity(&self) -> i64 {
+                0
+            }
+            fn combine(&self, a: &mut i64, b: &i64) {
+                *a += *b;
+            }
+        }
+        seq::reduce(&gv_core::monoid::MonoidOp(Opaque), &[1i64; 256]);
+        let (_, s2) = kernel::dispatch_counts();
+        assert!(s2 > s0, "user-defined op without kernels should stay scalar");
+    }
+}
+
 /// `MeanVar` merges running moments; exact equality across different
 /// associations fails in floating point, so it gets the law suite's
 /// shape with tolerances instead of `assert_eq!`.
