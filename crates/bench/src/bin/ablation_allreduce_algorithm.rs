@@ -1,19 +1,21 @@
 //! Experiment TXT-ALLREDUCE: cost-driven allreduce algorithm selection.
 //!
-//! Sweeps rank count × state size over the three allreduce schedules the
+//! Sweeps rank count × state size over the five allreduce schedules the
 //! runtime knows — reduce+bcast (the old hardcoded path), recursive
-//! doubling, and reduce-scatter+allgather (Rabenseifner's composition,
-//! available when the operator state is splittable and commutative) —
-//! and reports the modeled time of each alongside the schedule the
-//! selector would pick from the α–β estimates. The table demonstrates
-//! the crossover the selector exploits: latency-bound small states want
-//! recursive doubling, bandwidth-bound large states want the ring.
+//! doubling, reduce-scatter+allgather (Rabenseifner's composition,
+//! available when the operator state is splittable and commutative), the
+//! segment-pipelined ring, and the fused segment-pipelined tree (both
+//! splittable states, any operator order) — and reports the modeled time
+//! of each alongside the schedule the selector would pick from the α–β
+//! estimates. The table demonstrates the crossover the selector
+//! exploits: latency-bound small states want recursive doubling,
+//! bandwidth-bound large states want a pipelined schedule.
 //!
 //! Usage: ablation_allreduce_algorithm [--procs 2,4,8,16] [--csv]
 
 use gv_bench::table::{has_flag, parallel_time, parse_procs, timed_phase};
 use gv_core::split::{split_vec_segments, unsplit_vec_segments};
-use gv_msgpass::{AllreduceAlgorithm, CostModel, Runtime};
+use gv_msgpass::{AllreduceAlgorithm, BcastAlgorithm, CostModel, Runtime};
 
 /// State sizes swept, in bytes (the state is a Vec<u64> of size/8 slots).
 const SIZES: [usize; 4] = [1 << 10, 8 << 10, 64 << 10, 1 << 20];
@@ -44,6 +46,36 @@ fn measure(p: usize, bytes: usize, algo: AllreduceAlgorithm) -> f64 {
                     add,
                 );
             }
+            AllreduceAlgorithm::PipelinedRing => {
+                let segments = AllreduceAlgorithm::ring_segments(
+                    &CostModel::default(),
+                    c.size(),
+                    state.len() * 8,
+                );
+                c.allreduce_pipelined_ring(
+                    state.clone(),
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+            }
+            AllreduceAlgorithm::PipelinedTree => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &CostModel::default(),
+                    c.size(),
+                    state.len() * 8,
+                );
+                c.allreduce_pipelined_tree(
+                    state.clone(),
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    add,
+                );
+            }
         });
         dt
     });
@@ -66,13 +98,14 @@ fn main() {
     if csv {
         println!(
             "procs,bytes,reduce_bcast_seconds,recursive_doubling_seconds,\
-             reduce_scatter_allgather_seconds,selected"
+             reduce_scatter_allgather_seconds,pipelined_ring_seconds,\
+             pipelined_tree_seconds,selected"
         );
     } else {
         println!("TXT-ALLREDUCE — allreduce schedules, modeled time (splittable Vec<u64> state)\n");
         println!(
-            "  {:>5} | {:>7} | {:>13} | {:>13} | {:>13} | selected",
-            "p", "size", "reduce+bcast", "rec-doubling", "rs+ag"
+            "  {:>5} | {:>7} | {:>13} | {:>13} | {:>13} | {:>13} | {:>13} | selected",
+            "p", "size", "reduce+bcast", "rec-doubling", "rs+ag", "pipe-ring", "pipe-tree"
         );
     }
     for &p in &procs {
@@ -80,6 +113,8 @@ fn main() {
             let t_rb = measure(p, bytes, AllreduceAlgorithm::ReduceBroadcast);
             let t_rd = measure(p, bytes, AllreduceAlgorithm::RecursiveDoubling);
             let t_rs = measure(p, bytes, AllreduceAlgorithm::ReduceScatterAllgather);
+            let t_pr = measure(p, bytes, AllreduceAlgorithm::PipelinedRing);
+            let t_pt = measure(p, bytes, AllreduceAlgorithm::PipelinedTree);
             // What the selector would pick for this (p, size) cell, given
             // a commutative splittable operator (same default cost model
             // the runtime above measured under).
@@ -87,17 +122,19 @@ fn main() {
             let picked = AllreduceAlgorithm::select(&cost, p, bytes, true, true);
             if csv {
                 println!(
-                    "{p},{bytes},{t_rb:.9},{t_rd:.9},{t_rs:.9},{}",
+                    "{p},{bytes},{t_rb:.9},{t_rd:.9},{t_rs:.9},{t_pr:.9},{t_pt:.9},{}",
                     picked.name()
                 );
             } else {
                 println!(
-                    "  {:>5} | {:>7} | {:>10.1} µs | {:>10.1} µs | {:>10.1} µs | {}",
+                    "  {:>5} | {:>7} | {:>10.1} µs | {:>10.1} µs | {:>10.1} µs | {:>10.1} µs | {:>10.1} µs | {}",
                     p,
                     fmt_size(bytes),
                     t_rb * 1e6,
                     t_rd * 1e6,
                     t_rs * 1e6,
+                    t_pr * 1e6,
+                    t_pt * 1e6,
                     picked.name()
                 );
             }

@@ -176,6 +176,99 @@ fn disabled_fault_machinery_leaves_runs_bit_identical() {
 }
 
 #[test]
+fn default_pooling_and_pipelining_leave_recordings_pinned() {
+    // Two defaults shipped with the pipelined-collectives work must not
+    // move any recorded figure. First: packet pooling is on by default,
+    // but it only recycles heap boxes on the queued transport path — the
+    // modeled clocks, message counts, and byte totals of a run with
+    // pooling disabled must be bit-identical, or the pool leaked into
+    // simulation semantics. Second: the pipelined schedules are priced
+    // in, but at the small states the FIG2/FIG3/call-stats workloads use
+    // the selector must keep choosing the previously recorded schedules
+    // (pipelining only pays off for large splittable states).
+    let workload = |comm: &gv_msgpass::Comm| {
+        let wire = |v: &Vec<u64>| v.len() * 8;
+        let add = |mut a: Vec<u64>, b: Vec<u64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        };
+        for elems in [1usize, 8 << 10] {
+            let state = vec![comm.rank() as u64 + 1; elems];
+            comm.allreduce_splittable(
+                state.clone(),
+                true,
+                split_vec_segments,
+                unsplit_vec_segments,
+                wire,
+                add,
+            );
+            comm.scan_both_splittable(
+                state,
+                split_vec_segments,
+                unsplit_vec_segments,
+                wire,
+                add,
+            );
+        }
+        comm.now()
+    };
+    let pooled = Runtime::new(6).run(move |comm| workload(comm));
+    let unpooled = Runtime::new(6)
+        .packet_pooling(false)
+        .run(move |comm| workload(comm));
+
+    assert_eq!(pooled.results, unpooled.results, "modeled clocks drifted");
+    assert_eq!(pooled.stats.messages, unpooled.stats.messages);
+    assert_eq!(pooled.stats.bytes, unpooled.stats.bytes);
+    for algo in AllreduceAlgorithm::ALL {
+        assert_eq!(
+            pooled.stats.allreduce_algorithm_calls(algo),
+            unpooled.stats.allreduce_algorithm_calls(algo),
+            "allreduce attribution {algo:?}"
+        );
+    }
+    // The pool is observed mechanics only: the disabled run never
+    // recycles (every queued send is a fresh allocation, i.e. a miss),
+    // and neither run's counters show up in the determinism pins above.
+    let off = &unpooled.stats.transport;
+    assert_eq!(off.pool_hits, 0, "disabled pool must never serve a box");
+    assert_eq!(off.pool_hits + off.pool_misses, off.queued_sends);
+    assert!(
+        pooled.stats.transport.queued_sends > 0,
+        "workload stopped exercising the queued path"
+    );
+
+    // No pipelined schedule may claim these small states: both sizes
+    // must stay on the schedules the recordings were taken with.
+    assert_eq!(
+        pooled
+            .stats
+            .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedRing),
+        0
+    );
+    assert_eq!(
+        pooled
+            .stats
+            .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedTree),
+        0
+    );
+    let cost = CostModel::cluster_2006();
+    for (bytes, commutative, want) in [
+        (8usize, true, AllreduceAlgorithm::RecursiveDoubling),
+        (64 << 10, true, AllreduceAlgorithm::ReduceScatterAllgather),
+        (8 << 10, false, AllreduceAlgorithm::RecursiveDoubling),
+    ] {
+        assert_eq!(
+            AllreduceAlgorithm::select(&cost, 6, bytes, commutative, true),
+            want,
+            "selector moved a recorded call site at {bytes} B"
+        );
+    }
+}
+
+#[test]
 fn fig2_class_a_rows_match_the_recording() {
     let got = run(env!("CARGO_BIN_EXE_fig2_is_verify"), &["--classes", "A/32"]);
     let recording = recorded("fig2_is_verify.txt");

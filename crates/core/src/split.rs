@@ -50,19 +50,41 @@ pub trait SplittableState: ReduceScanOp {
     fn unsplit_state(&self, segments: Vec<Self::State>) -> Self::State;
 }
 
+/// The half-open index ranges of the balanced contiguous chunking used by
+/// [`split_vec_segments`]: the first `len % parts` segments get one extra
+/// element, segments beyond `len` are empty. Depends only on
+/// `(len, parts)`, so equal-length states chunk identically on every rank
+/// — the property the pipelined schedules rely on when matching segment
+/// indices across ranks.
+pub fn segment_ranges(len: usize, parts: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    assert!(parts >= 1, "cannot split into zero segments");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0usize;
+    (0..parts).map(move |i| {
+        let size = base + usize::from(i < extra);
+        let range = start..start + size;
+        start += size;
+        range
+    })
+}
+
+/// Borrowed view of the segments of a slice — [`split_vec_segments`]
+/// without moving any element, for callers that only need to *read* (or
+/// price) the segments of a state they still own.
+pub fn segment_views<T>(v: &[T], parts: usize) -> Vec<&[T]> {
+    segment_ranges(v.len(), parts).map(|r| &v[r]).collect()
+}
+
 /// Splits a vector into `parts` balanced contiguous chunks (the first
 /// `len % parts` chunks get one extra element; chunks beyond `len` are
-/// empty). The chunking depends only on `(len, parts)`, so equal-length
+/// empty). The chunking follows [`segment_ranges`], so equal-length
 /// states split identically on every rank.
 pub fn split_vec_segments<T>(mut v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
-    assert!(parts >= 1, "cannot split into zero segments");
-    let n = v.len();
-    let base = n / parts;
-    let extra = n % parts;
+    let ranges: Vec<_> = segment_ranges(v.len(), parts).collect();
     let mut out = Vec::with_capacity(parts);
-    for i in 0..parts {
-        let size = base + usize::from(i < extra);
-        let rest = v.split_off(size);
+    for range in ranges {
+        let rest = v.split_off(range.len());
         out.push(std::mem::replace(&mut v, rest));
     }
     debug_assert!(v.is_empty());
@@ -111,5 +133,32 @@ mod tests {
     fn empty_vector_splits_into_empty_segments() {
         let chunks = split_vec_segments(Vec::<u8>::new(), 3);
         assert_eq!(chunks, vec![vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn segment_ranges_tile_the_slice_in_order() {
+        for (len, parts) in [(10usize, 4usize), (2, 5), (13, 3), (0, 2), (7, 1), (16, 16)] {
+            let ranges: Vec<_> = segment_ranges(len, parts).collect();
+            assert_eq!(ranges.len(), parts, "len={len} parts={parts}");
+            let mut expect_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect_start, "len={len} parts={parts}");
+                expect_start = r.end;
+            }
+            assert_eq!(expect_start, len, "len={len} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn segment_views_agree_with_split_vec_segments() {
+        let v: Vec<u32> = (0..13).collect();
+        for parts in [1usize, 2, 3, 7, 16] {
+            let views = segment_views(&v, parts);
+            let owned = split_vec_segments(v.clone(), parts);
+            assert_eq!(views.len(), owned.len());
+            for (view, chunk) in views.iter().zip(&owned) {
+                assert_eq!(*view, chunk.as_slice(), "parts={parts}");
+            }
+        }
     }
 }

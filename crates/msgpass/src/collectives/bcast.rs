@@ -2,6 +2,7 @@
 
 use super::TAG_BCAST;
 use crate::comm::Comm;
+use crate::cost::BcastAlgorithm;
 use crate::mailbox::ShutdownError;
 use crate::message::Tag;
 use crate::request::{Request, Schedule};
@@ -109,6 +110,7 @@ impl Comm {
     /// rank passes `None`; all ranks return the value.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
         self.stats().record_call(CallKind::Bcast);
+        self.stats().record_bcast_algorithm(BcastAlgorithm::Binomial);
         let salt = self.next_collective_salt();
         self.bcast_impl(root, value, salt, |_| std::mem::size_of::<T>())
     }
@@ -120,6 +122,7 @@ impl Comm {
         value: Option<Vec<T>>,
     ) -> Vec<T> {
         self.stats().record_call(CallKind::Bcast);
+        self.stats().record_bcast_algorithm(BcastAlgorithm::Binomial);
         let salt = self.next_collective_salt();
         self.bcast_impl(root, value, salt, |v: &Vec<T>| {
             v.len() * std::mem::size_of::<T>()
@@ -131,6 +134,7 @@ impl Comm {
     /// resolves to the broadcast value.
     pub fn ibcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> Request<T> {
         self.stats().record_call(CallKind::Bcast);
+        self.stats().record_bcast_algorithm(BcastAlgorithm::Binomial);
         let salt = self.next_collective_salt();
         let schedule = {
             let _guard = self.enter_collective();

@@ -30,6 +30,7 @@ pub mod alltoall;
 pub mod barrier;
 pub mod bcast;
 pub mod gather;
+pub mod pipeline;
 pub mod reduce;
 pub mod reduce_scatter;
 pub mod scan;
@@ -43,6 +44,13 @@ use crate::message::{Tag, RESERVED_TAG_BASE};
 
 pub(crate) const TAG_BARRIER: Tag = RESERVED_TAG_BASE;
 pub(crate) const TAG_BCAST: Tag = RESERVED_TAG_BASE + 0x100;
+// The salt occupies bits 12–23, so two bases may share a 0x?00 block as
+// long as they stay distinct below it (see TAG_ALLGATHER_CIRC).
+pub(crate) const TAG_BCAST_PIPE: Tag = RESERVED_TAG_BASE + 0x180;
+pub(crate) const TAG_REDUCE_PIPE: Tag = RESERVED_TAG_BASE + 0x380;
+pub(crate) const TAG_ALLREDUCE_RING: Tag = RESERVED_TAG_BASE + 0x880;
+pub(crate) const TAG_ALLREDUCE_TREE_UP: Tag = RESERVED_TAG_BASE + 0x600;
+pub(crate) const TAG_ALLREDUCE_TREE_DOWN: Tag = RESERVED_TAG_BASE + 0x700;
 pub(crate) const TAG_GATHER: Tag = RESERVED_TAG_BASE + 0x200;
 pub(crate) const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 0x300;
 pub(crate) const TAG_SCAN: Tag = RESERVED_TAG_BASE + 0x400;
@@ -69,13 +77,16 @@ pub(crate) fn describe_tag(tag: Tag) -> &'static str {
     match tag & 0xFFF {
         0x000 => "barrier",
         0x100 => "bcast",
+        0x180 => "bcast (pipelined)",
         0x200 => "gather",
         0x300 => "reduce",
+        0x380 => "reduce (pipelined)",
         0x400 => "scan",
         0x500 => "alltoall",
         0x600 => "shift",
         0x700 => "scatter",
         0x800 => "allreduce (recursive doubling)",
+        0x880 => "allreduce (pipelined ring)",
         0x900 => "reduce-scatter",
         0xA00 => "allgather (ring)",
         0xB00 => "scan (binomial up-sweep)",

@@ -1,0 +1,1213 @@
+//! Segment-pipelined binomial broadcast / reduce and a pipelined ring
+//! allreduce — the large-state fast path.
+//!
+//! Every schedule except the chain scan used to move the *whole* state on
+//! each hop, so a large-state broadcast paid `⌈log₂p⌉(α + βn)` and a
+//! reduce the same. Splitting the state into `S` segments (the
+//! `SplittableState` laws from `gv-core`) turns each tree or ring into a
+//! pipeline: segment `j` moves one stage behind segment `j−1`, so the
+//! critical path becomes the first segment's full trip plus a drain tail
+//! of one sender-occupancy per extra segment (see the per-schedule
+//! estimates in [`crate::cost`]) — for large `n` the bandwidth term is
+//! paid once, not once per level.
+//!
+//! * **Pipelined binomial bcast** — segments flow down the same binomial
+//!   tree as [`super::bcast`], deepest-subtree child first; every
+//!   non-root rank receives `S` segments from its tree parent and relays
+//!   each to its own children on arrival. `(p−1)·S` messages.
+//! * **Pipelined binomial reduce** — per segment, a rank receives its
+//!   children's partials in increasing-mask order (preserving rank-order
+//!   association, so non-commutative operators are safe), combines, and
+//!   forwards to its parent; the tree reduces to rank 0, which streams
+//!   finished segments to a non-zero root as they complete. `(p−1)·S`
+//!   messages, plus `S` when the root is not rank 0.
+//! * **Pipelined ring allreduce** — a reduce ring `0 → 1 → … → p−1`
+//!   (rank `r` combines `(partial₀..r₋₁, own_r)`, again rank order)
+//!   followed by a broadcast ring `p−1 → 0 → … → p−2`, each segment one
+//!   hop behind the previous. `2(p−1)·S` messages. Unlike
+//!   reduce-scatter + allgather this needs **no commutativity** — only a
+//!   splittable state — which makes it a large-state schedule for
+//!   non-commutative operators.
+//! * **Fused pipelined tree allreduce** — each segment reduces up the
+//!   binomial tree to rank 0 and is broadcast back down the same tree
+//!   the moment it completes, so segment `j`'s descent overlaps segment
+//!   `j+1`'s climb. Also `2(p−1)·S` messages and rank-order combines,
+//!   but a `2⌈log₂p⌉`-hop critical path instead of the ring's `2(p−1)` —
+//!   the non-commutative large-state schedule once `p` outgrows a pair.
+//!
+//! Memory discipline: payloads move through the schedules by value.
+//! A partial that arrives is combined *into* (never copied), and a
+//! segment forwarded to exactly one peer is sent by move. The only
+//! clones left are keep-and-forward fan-outs: one per child in the bcast
+//! tree, and one per hop on the broadcast ring (none at the ring's last
+//! hop) — the clone-elision invariant `pipeline_microbench` observes via
+//! the allocation counters.
+//!
+//! Segment counts come from [`crate::cost::pipeline_segments`] evaluated
+//! on the selection cost model, so every rank derives the same schedule
+//! and the α–β estimates price the schedule actually run.
+
+use super::{
+    TAG_ALLREDUCE_RING, TAG_ALLREDUCE_TREE_DOWN, TAG_ALLREDUCE_TREE_UP, TAG_BCAST_PIPE,
+    TAG_REDUCE_PIPE,
+};
+use crate::comm::Comm;
+use crate::cost::{AllreduceAlgorithm, BcastAlgorithm};
+use crate::mailbox::ShutdownError;
+use crate::message::Tag;
+use crate::request::{Request, Schedule};
+use crate::stats::CallKind;
+
+/// Resumable pipelined binomial broadcast. The root splits and fans out
+/// every segment at construction (sends are non-blocking); every other
+/// rank's poll receives segments from its tree parent in order, relaying
+/// each to its children — deepest subtree first — before stashing it.
+/// Done when `total` segments are collected and reassembled.
+pub(crate) struct BcastPipelineSchedule<T, B, U> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    /// `FnOnce`, consumed when the last segment lands.
+    unsplit: Option<U>,
+    root: usize,
+    vrank: usize,
+    /// The mask the tree walk stopped at: the root's covers the whole
+    /// tree, a child's is its lowest set vrank bit (its parent link).
+    mask: usize,
+    total: usize,
+    received: Vec<T>,
+}
+
+impl<T, B, U> BcastPipelineSchedule<T, B, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    U: FnOnce(Vec<T>) -> T,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Comm,
+        root: usize,
+        value: Option<T>,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        salt: Tag,
+        bytes_of: B,
+        unsplit: U,
+    ) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        let s = segments.max(1);
+        let vrank = (r + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p && vrank & mask == 0 {
+            mask <<= 1;
+        }
+        let mut schedule = BcastPipelineSchedule {
+            comm,
+            tag: TAG_BCAST_PIPE + salt,
+            bytes_of,
+            unsplit: Some(unsplit),
+            root,
+            vrank,
+            mask,
+            total: s,
+            received: Vec::with_capacity(s),
+        };
+        if vrank == 0 {
+            let value = value.expect("the bcast root must supply the value");
+            let segs = split(value, s);
+            assert_eq!(
+                segs.len(),
+                s,
+                "split must return exactly the requested number of segments"
+            );
+            for seg in segs {
+                schedule.relay(&seg);
+                schedule.received.push(seg);
+            }
+        }
+        schedule
+    }
+
+    /// Sends one segment to every tree child, largest subtree first (the
+    /// child that must relay deepest gets its copy earliest).
+    fn relay(&self, seg: &T) {
+        let p = self.comm.size();
+        let mut m = self.mask >> 1;
+        while m > 0 {
+            if self.vrank + m < p {
+                let child = (self.vrank + m + self.root) % p;
+                let bytes = (self.bytes_of)(seg);
+                self.comm.send_with_bytes(child, self.tag, seg.clone(), bytes);
+            }
+            m >>= 1;
+        }
+    }
+}
+
+impl<T, B, U> Schedule for BcastPipelineSchedule<T, B, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    U: FnOnce(Vec<T>) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        while self.received.len() < self.total {
+            let p = self.comm.size();
+            let parent = (self.vrank + p - self.mask + self.root) % p;
+            let Some(seg) = self.comm.try_recv_schedule::<T>(parent, self.tag)? else {
+                return Ok(None);
+            };
+            self.relay(&seg);
+            self.received.push(seg);
+        }
+        let unsplit = self.unsplit.take().expect("schedule polled past completion");
+        Ok(Some(unsplit(std::mem::take(&mut self.received))))
+    }
+}
+
+/// Resumable pipelined binomial reduce to `root`. The segment iterator
+/// is the program counter; within a segment, `child_idx` is: each poll
+/// resumes at the child whose partial has not arrived yet. Rank 0
+/// streams finished segments to a non-zero root as they complete, so the
+/// ship overlaps the remaining tree work.
+pub(crate) struct ReducePipelineSchedule<T, B, F, U> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    /// `FnOnce`, consumed when the root reassembles the result.
+    unsplit: Option<U>,
+    root: usize,
+    /// Tree children of this rank (increasing mask order — the order
+    /// that keeps every combine a rank-order association).
+    children: Vec<usize>,
+    /// Tree parent (`None` on rank 0).
+    parent: Option<usize>,
+    remaining: std::vec::IntoIter<T>,
+    current: Option<T>,
+    child_idx: usize,
+    collected: Vec<T>,
+    total: usize,
+}
+
+impl<T, B, F, U> ReducePipelineSchedule<T, B, F, U>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Comm,
+        root: usize,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        salt: Tag,
+        bytes_of: B,
+        combine: F,
+        unsplit: U,
+    ) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        let s = segments.max(1);
+        let mut children = Vec::new();
+        let mut mask = 1usize;
+        let mut parent = None;
+        while mask < p {
+            if r & mask != 0 {
+                parent = Some(r - mask);
+                break;
+            }
+            if r + mask < p {
+                children.push(r + mask);
+            }
+            mask <<= 1;
+        }
+        let segs = split(value, s);
+        assert_eq!(
+            segs.len(),
+            s,
+            "split must return exactly the requested number of segments"
+        );
+        ReducePipelineSchedule {
+            comm,
+            tag: TAG_REDUCE_PIPE + salt,
+            bytes_of,
+            combine,
+            unsplit: Some(unsplit),
+            root,
+            children,
+            parent,
+            remaining: segs.into_iter(),
+            current: None,
+            child_idx: 0,
+            collected: Vec::with_capacity(s),
+            total: s,
+        }
+    }
+}
+
+impl<T, B, F, U> Schedule for ReducePipelineSchedule<T, B, F, U>
+where
+    T: Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    type Output = Option<T>;
+
+    fn poll(&mut self) -> Result<Option<Option<T>>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let r = self.comm.rank();
+        // Tree phase: reduce every segment toward rank 0.
+        loop {
+            if self.current.is_none() {
+                match self.remaining.next() {
+                    Some(seg) => self.current = Some(seg),
+                    None => break,
+                }
+            }
+            while self.child_idx < self.children.len() {
+                let child = self.children[self.child_idx];
+                let Some(sub) = self.comm.try_recv_schedule::<T>(child, self.tag)? else {
+                    return Ok(None);
+                };
+                let acc = self.current.take().expect("segment in flight");
+                self.current = Some((self.combine)(acc, sub));
+                self.child_idx += 1;
+            }
+            let seg = self.current.take().expect("segment in flight");
+            self.child_idx = 0;
+            if let Some(parent) = self.parent {
+                let bytes = (self.bytes_of)(&seg);
+                self.comm.send_with_bytes(parent, self.tag, seg, bytes);
+            } else if self.root == 0 {
+                self.collected.push(seg);
+            } else {
+                // Stream each finished segment to the root immediately:
+                // the ship pipelines behind the remaining tree work.
+                let bytes = (self.bytes_of)(&seg);
+                self.comm.send_with_bytes(self.root, self.tag, seg, bytes);
+            }
+        }
+        if r != self.root {
+            return Ok(Some(None));
+        }
+        if self.root != 0 {
+            while self.collected.len() < self.total {
+                let Some(seg) = self.comm.try_recv_schedule::<T>(0, self.tag)? else {
+                    return Ok(None);
+                };
+                self.collected.push(seg);
+            }
+        }
+        let unsplit = self.unsplit.take().expect("schedule polled past completion");
+        Ok(Some(Some(unsplit(std::mem::take(&mut self.collected)))))
+    }
+}
+
+/// Resumable pipelined ring allreduce: a reduce ring `0 → … → p−1`
+/// followed by a broadcast ring `p−1 → 0 → … → p−2`, one segment per
+/// stage. All combines happen on the reduce ring in strict rank order,
+/// so the schedule serves non-commutative operators.
+pub(crate) struct RingAllreduceSchedule<T, B, F, U> {
+    comm: Comm,
+    tag: Tag,
+    bytes_of: B,
+    combine: F,
+    /// `FnOnce`, consumed when the broadcast ring completes.
+    unsplit: Option<U>,
+    remaining: std::vec::IntoIter<T>,
+    finals: Vec<T>,
+    total: usize,
+    trivial: Option<T>,
+}
+
+impl<T, B, F, U> RingAllreduceSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Comm,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        salt: Tag,
+        bytes_of: B,
+        combine: F,
+        unsplit: U,
+    ) -> Self {
+        let s = segments.max(1);
+        let trivial = comm.size() < 2;
+        let (segs, held) = if trivial {
+            (Vec::new(), Some(value))
+        } else {
+            let segs = split(value, s);
+            assert_eq!(
+                segs.len(),
+                s,
+                "split must return exactly the requested number of segments"
+            );
+            (segs, None)
+        };
+        RingAllreduceSchedule {
+            comm,
+            tag: TAG_ALLREDUCE_RING + salt,
+            bytes_of,
+            combine,
+            unsplit: Some(unsplit),
+            remaining: segs.into_iter(),
+            finals: Vec::with_capacity(if trivial { 0 } else { s }),
+            total: s,
+            trivial: held,
+        }
+    }
+}
+
+impl<T, B, F, U> Schedule for RingAllreduceSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        if p < 2 {
+            return Ok(Some(self.trivial.take().expect("trivial result taken once")));
+        }
+        // Reduce ring: the partial for segment `s` accumulates rank by
+        // rank; rank p−1 holds the fully combined segment and opens the
+        // broadcast ring with it (the keep-and-forward clone).
+        while self.remaining.len() > 0 {
+            let acc = if r == 0 {
+                self.remaining.next().expect("segment available")
+            } else {
+                let Some(partial) = self.comm.try_recv_schedule::<T>(r - 1, self.tag)? else {
+                    return Ok(None);
+                };
+                let own = self.remaining.next().expect("segment available");
+                (self.combine)(partial, own)
+            };
+            let bytes = (self.bytes_of)(&acc);
+            if r + 1 < p {
+                self.comm.send_with_bytes(r + 1, self.tag, acc, bytes);
+            } else {
+                self.comm.send_with_bytes(0, self.tag, acc.clone(), bytes);
+                self.finals.push(acc);
+            }
+        }
+        // Broadcast ring: every rank but p−1 collects the finals from its
+        // ring predecessor, forwarding each on unless the successor is
+        // the ring's initiator.
+        while self.finals.len() < self.total {
+            let src = (r + p - 1) % p;
+            let Some(fin) = self.comm.try_recv_schedule::<T>(src, self.tag)? else {
+                return Ok(None);
+            };
+            if (r + 1) % p != p - 1 {
+                let bytes = (self.bytes_of)(&fin);
+                self.comm.send_with_bytes((r + 1) % p, self.tag, fin.clone(), bytes);
+            }
+            self.finals.push(fin);
+        }
+        let unsplit = self.unsplit.take().expect("schedule polled past completion");
+        Ok(Some(unsplit(std::mem::take(&mut self.finals))))
+    }
+}
+
+/// Resumable fused pipelined tree allreduce: every segment is reduced up
+/// the binomial tree to rank 0 (children combined in increasing-mask
+/// order, so every combine is a rank-order association) and relayed
+/// straight back down the *same* tree the moment it completes — the
+/// downward broadcast of segment `j` overlaps the upward reduce of
+/// segment `j+1`. `2(p−1)·S` messages, like the ring, but the critical
+/// path is `2⌈log₂p⌉` hops instead of `2(p−1)`.
+pub(crate) struct TreeAllreduceSchedule<T, B, F, U> {
+    comm: Comm,
+    up_tag: Tag,
+    down_tag: Tag,
+    bytes_of: B,
+    combine: F,
+    /// `FnOnce`, consumed when every segment has come back down.
+    unsplit: Option<U>,
+    /// Reduce-tree children of this rank (increasing mask order) and its
+    /// parent toward rank 0 (`None` on rank 0).
+    children: Vec<usize>,
+    parent: Option<usize>,
+    /// Down-tree fan-out mask: rank 0's covers the whole tree, any other
+    /// rank's is its lowest set bit (its down-tree parent link).
+    down_mask: usize,
+    remaining: std::vec::IntoIter<T>,
+    current: Option<T>,
+    child_idx: usize,
+    finals: Vec<T>,
+    total: usize,
+    trivial: Option<T>,
+}
+
+impl<T, B, F, U> TreeAllreduceSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Comm,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        salt: Tag,
+        bytes_of: B,
+        combine: F,
+        unsplit: U,
+    ) -> Self {
+        let p = comm.size();
+        let r = comm.rank();
+        let s = segments.max(1);
+        let trivial = p < 2;
+        let (segs, held) = if trivial {
+            (Vec::new(), Some(value))
+        } else {
+            let segs = split(value, s);
+            assert_eq!(
+                segs.len(),
+                s,
+                "split must return exactly the requested number of segments"
+            );
+            (segs, None)
+        };
+        let mut children = Vec::new();
+        let mut parent = None;
+        let mut mask = 1usize;
+        while mask < p {
+            if r & mask != 0 {
+                parent = Some(r - mask);
+                break;
+            }
+            if r + mask < p {
+                children.push(r + mask);
+            }
+            mask <<= 1;
+        }
+        // The loop leaves `mask` at this rank's lowest set bit (its
+        // parent link) — or, on rank 0, at the first power of two ≥ p —
+        // which is exactly the down-tree fan-out mask.
+        TreeAllreduceSchedule {
+            comm,
+            up_tag: TAG_ALLREDUCE_TREE_UP + salt,
+            down_tag: TAG_ALLREDUCE_TREE_DOWN + salt,
+            bytes_of,
+            combine,
+            unsplit: Some(unsplit),
+            children,
+            parent,
+            down_mask: mask,
+            remaining: segs.into_iter(),
+            current: None,
+            child_idx: 0,
+            finals: Vec::with_capacity(if trivial { 0 } else { s }),
+            total: s,
+            trivial: held,
+        }
+    }
+
+    /// Sends one finished segment to every down-tree child, largest
+    /// subtree first (the child that must relay deepest gets its copy
+    /// earliest).
+    fn relay_down(&self, seg: &T) {
+        let p = self.comm.size();
+        let r = self.comm.rank();
+        let mut m = self.down_mask >> 1;
+        while m > 0 {
+            if r + m < p {
+                let bytes = (self.bytes_of)(seg);
+                self.comm.send_with_bytes(r + m, self.down_tag, seg.clone(), bytes);
+            }
+            m >>= 1;
+        }
+    }
+}
+
+impl<T, B, F, U> Schedule for TreeAllreduceSchedule<T, B, F, U>
+where
+    T: Clone + Send + 'static,
+    B: Fn(&T) -> usize,
+    F: FnMut(T, T) -> T,
+    U: FnOnce(Vec<T>) -> T,
+{
+    type Output = T;
+
+    fn poll(&mut self) -> Result<Option<T>, ShutdownError> {
+        let _guard = self.comm.enter_collective();
+        if self.comm.size() < 2 {
+            return Ok(Some(self.trivial.take().expect("trivial result taken once")));
+        }
+        // Up phase: reduce each segment toward rank 0, which opens the
+        // down tree with a finished segment immediately — the descent
+        // pipelines behind the remaining climbs.
+        loop {
+            if self.current.is_none() {
+                match self.remaining.next() {
+                    Some(seg) => self.current = Some(seg),
+                    None => break,
+                }
+            }
+            while self.child_idx < self.children.len() {
+                let child = self.children[self.child_idx];
+                let Some(sub) = self.comm.try_recv_schedule::<T>(child, self.up_tag)? else {
+                    return Ok(None);
+                };
+                let acc = self.current.take().expect("segment in flight");
+                self.current = Some((self.combine)(acc, sub));
+                self.child_idx += 1;
+            }
+            let seg = self.current.take().expect("segment in flight");
+            self.child_idx = 0;
+            match self.parent {
+                Some(parent) => {
+                    let bytes = (self.bytes_of)(&seg);
+                    self.comm.send_with_bytes(parent, self.up_tag, seg, bytes);
+                }
+                None => {
+                    self.relay_down(&seg);
+                    self.finals.push(seg);
+                }
+            }
+        }
+        // Down phase (every rank but 0): segments arrive in order from
+        // the down-tree parent and are relayed onward before being kept.
+        let r = self.comm.rank();
+        while self.finals.len() < self.total {
+            let parent = r - self.down_mask;
+            let Some(seg) = self.comm.try_recv_schedule::<T>(parent, self.down_tag)? else {
+                return Ok(None);
+            };
+            self.relay_down(&seg);
+            self.finals.push(seg);
+        }
+        let unsplit = self.unsplit.take().expect("schedule polled past completion");
+        Ok(Some(unsplit(std::mem::take(&mut self.finals))))
+    }
+}
+
+impl Comm {
+    /// Broadcast by the segment-pipelined binomial tree with an explicit
+    /// segment count, bypassing the cost-driven selector (the
+    /// selector-routed entry is
+    /// [`bcast_splittable`](Self::bcast_splittable)). The root passes
+    /// `Some(value)`; `split`/`unsplit` must satisfy the
+    /// `SplittableState` laws.
+    pub fn bcast_pipelined<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+    ) -> T {
+        self.stats().record_call(CallKind::Bcast);
+        self.stats().record_bcast_algorithm(BcastAlgorithm::Pipelined);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            BcastPipelineSchedule::new(
+                self.clone_handle(),
+                root,
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                unsplit,
+            )
+        };
+        crate::request::drive(self, schedule)
+    }
+
+    /// Non-blocking [`bcast_pipelined`](Self::bcast_pipelined).
+    pub fn ibcast_pipelined<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Bcast);
+        self.stats().record_bcast_algorithm(BcastAlgorithm::Pipelined);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            BcastPipelineSchedule::new(
+                self.clone_handle(),
+                root,
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                unsplit,
+            )
+        };
+        Request::register(self, schedule)
+    }
+
+    /// Rooted reduce by the segment-pipelined binomial tree with an
+    /// explicit segment count (`Some(result)` at the root, `None`
+    /// elsewhere). Safe for non-commutative operators: every combine
+    /// respects rank order, per segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_pipelined<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> Option<T> {
+        self.stats().record_call(CallKind::Reduce);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ReducePipelineSchedule::new(
+                self.clone_handle(),
+                root,
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        crate::request::drive(self, schedule)
+    }
+
+    /// Non-blocking [`reduce_pipelined`](Self::reduce_pipelined).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ireduce_pipelined<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<Option<T>> {
+        self.stats().record_call(CallKind::Reduce);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            ReducePipelineSchedule::new(
+                self.clone_handle(),
+                root,
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        Request::register(self, schedule)
+    }
+
+    /// Allreduce by the segment-pipelined ring with an explicit segment
+    /// count. Combines strictly in rank order, so non-commutative
+    /// operators are safe — the property that distinguishes this from
+    /// [`allreduce_reduce_scatter`](Self::allreduce_reduce_scatter).
+    pub fn allreduce_pipelined_ring<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedRing);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            RingAllreduceSchedule::new(
+                self.clone_handle(),
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        crate::request::drive(self, schedule)
+    }
+
+    /// Non-blocking [`allreduce_pipelined_ring`](Self::allreduce_pipelined_ring).
+    pub fn iallreduce_pipelined_ring<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedRing);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            RingAllreduceSchedule::new(
+                self.clone_handle(),
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        Request::register(self, schedule)
+    }
+
+    /// Allreduce by the fused segment-pipelined binomial tree with an
+    /// explicit segment count: each segment reduces up the tree to rank 0
+    /// and is broadcast back down the same tree as soon as it completes.
+    /// Combines respect rank order, so non-commutative operators are
+    /// safe; the `2⌈log₂p⌉`-hop critical path beats the ring's `2(p−1)`
+    /// once `p` outgrows a pair.
+    pub fn allreduce_pipelined_tree<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> T {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedTree);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            TreeAllreduceSchedule::new(
+                self.clone_handle(),
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        crate::request::drive(self, schedule)
+    }
+
+    /// Non-blocking [`allreduce_pipelined_tree`](Self::allreduce_pipelined_tree).
+    pub fn iallreduce_pipelined_tree<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        segments: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<T> {
+        self.stats().record_call(CallKind::Allreduce);
+        self.stats()
+            .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedTree);
+        let salt = self.next_collective_salt();
+        let schedule = {
+            let _guard = self.enter_collective();
+            TreeAllreduceSchedule::new(
+                self.clone_handle(),
+                value,
+                segments,
+                split,
+                salt,
+                bytes_of,
+                combine,
+                unsplit,
+            )
+        };
+        Request::register(self, schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::runtime::Runtime;
+    use gv_core::split::{split_vec_segments, unsplit_vec_segments};
+
+    fn add(mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    }
+
+    /// Element-wise string concatenation: associative, NOT commutative.
+    fn concat(mut a: Vec<String>, b: Vec<String>) -> Vec<String> {
+        for (x, y) in a.iter_mut().zip(b) {
+            x.push_str(&y);
+        }
+        a
+    }
+
+    fn bytes_u64(v: &Vec<u64>) -> usize {
+        v.len() * 8
+    }
+
+    #[test]
+    fn pipelined_bcast_matches_plain_bcast_for_every_root_and_segments() {
+        for p in 1..=9usize {
+            for segments in [1usize, 2, 3, 7] {
+                for root in [0, p / 2, p - 1] {
+                    let outcome = Runtime::new(p).run(move |comm| {
+                        let value =
+                            (comm.rank() == root).then(|| (0..12).map(|i| i + 100).collect::<Vec<u64>>());
+                        comm.bcast_pipelined(
+                            root,
+                            value,
+                            segments,
+                            split_vec_segments,
+                            unsplit_vec_segments,
+                            bytes_u64,
+                        )
+                    });
+                    let expect: Vec<u64> = (0..12).map(|i| i + 100).collect();
+                    assert_eq!(outcome.results, vec![expect; p], "p={p} s={segments} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_bcast_message_count_is_ranks_minus_one_times_segments() {
+        for (p, s) in [(8usize, 4usize), (5, 3), (2, 7), (1, 4)] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let value = (comm.rank() == 0).then(|| vec![7u64; 16]);
+                comm.bcast_pipelined(
+                    0,
+                    value,
+                    s,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    bytes_u64,
+                );
+            });
+            assert_eq!(outcome.stats.messages, ((p - 1) * s) as u64, "p={p} s={s}");
+        }
+    }
+
+    #[test]
+    fn pipelined_reduce_sums_to_every_root() {
+        for p in 1..=9usize {
+            for segments in [1usize, 3, 7] {
+                for root in [0, p / 2, p - 1] {
+                    let outcome = Runtime::new(p).run(move |comm| {
+                        let state = vec![comm.rank() as u64 + 1; 12];
+                        comm.reduce_pipelined(
+                            root,
+                            state,
+                            segments,
+                            split_vec_segments,
+                            unsplit_vec_segments,
+                            bytes_u64,
+                            add,
+                        )
+                    });
+                    let total: u64 = (1..=p as u64).sum();
+                    for (r, res) in outcome.results.iter().enumerate() {
+                        if r == root {
+                            assert_eq!(res.as_ref().unwrap(), &vec![total; 12], "p={p} s={segments}");
+                        } else {
+                            assert!(res.is_none(), "p={p} s={segments} r={r}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_reduce_preserves_rank_order_for_non_commutative_ops() {
+        for p in 1..=9usize {
+            for segments in [1usize, 2, 5] {
+                let root = p - 1;
+                let outcome = Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank().to_string(); 6];
+                    comm.reduce_pipelined(
+                        root,
+                        state,
+                        segments,
+                        split_vec_segments,
+                        unsplit_vec_segments,
+                        |v: &Vec<String>| v.iter().map(String::len).sum(),
+                        concat,
+                    )
+                });
+                let expect: String = (0..p).map(|r| r.to_string()).collect();
+                assert_eq!(
+                    outcome.results[root].as_ref().unwrap(),
+                    &vec![expect; 6],
+                    "p={p} s={segments}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_reduce_message_count_pins() {
+        // (p−1)·S tree messages, plus S ship messages when root ≠ 0.
+        for (p, s, root, expect) in [
+            (8usize, 4usize, 0usize, 7 * 4),
+            (8, 4, 5, 7 * 4 + 4),
+            (5, 3, 0, 4 * 3),
+            (1, 4, 0, 0),
+        ] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let state = vec![comm.rank() as u64; 16];
+                comm.reduce_pipelined(
+                    root,
+                    state,
+                    s,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    bytes_u64,
+                    add,
+                );
+            });
+            assert_eq!(outcome.stats.messages, expect as u64, "p={p} s={s} root={root}");
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_oracle_including_non_commutative() {
+        for p in 1..=9usize {
+            for segments in [1usize, 2, 3, 7] {
+                // Non-commutative element-wise concat: rank order must hold.
+                let outcome = Runtime::new(p).run(move |comm| {
+                    let state = vec![comm.rank().to_string(); 5];
+                    comm.allreduce_pipelined_ring(
+                        state,
+                        segments,
+                        split_vec_segments,
+                        unsplit_vec_segments,
+                        |v: &Vec<String>| v.iter().map(String::len).sum(),
+                        concat,
+                    )
+                });
+                let expect: String = (0..p).map(|r| r.to_string()).collect();
+                assert_eq!(outcome.results, vec![vec![expect; 5]; p], "p={p} s={segments}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_handles_empty_segments() {
+        // More segments than elements: empty tail segments must flow
+        // through split/combine/unsplit intact.
+        let outcome = Runtime::new(4).run(|comm| {
+            let state = vec![comm.rank() as u64 + 1; 2];
+            comm.allreduce_pipelined_ring(
+                state,
+                5,
+                split_vec_segments,
+                unsplit_vec_segments,
+                bytes_u64,
+                add,
+            )
+        });
+        assert_eq!(outcome.results, vec![vec![10u64; 2]; 4]);
+    }
+
+    #[test]
+    fn ring_allreduce_message_count_is_two_rings() {
+        for (p, s) in [(8usize, 4usize), (5, 3), (2, 6), (1, 3)] {
+            let outcome = Runtime::new(p).run(move |comm| {
+                let state = vec![comm.rank() as u64; 16];
+                comm.allreduce_pipelined_ring(
+                    state,
+                    s,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    bytes_u64,
+                    add,
+                );
+            });
+            let expect = if p < 2 { 0 } else { 2 * (p - 1) * s };
+            assert_eq!(outcome.stats.messages, expect as u64, "p={p} s={s}");
+        }
+    }
+
+    #[test]
+    fn non_blocking_variants_match_blocking_results() {
+        let p = 6;
+        let outcome = Runtime::new(p).run(move |comm| {
+            let mut bc = comm.ibcast_pipelined(
+                1,
+                (comm.rank() == 1).then(|| vec![3u64; 12]),
+                3,
+                split_vec_segments,
+                unsplit_vec_segments,
+                bytes_u64,
+            );
+            let mut rd = comm.ireduce_pipelined(
+                2,
+                vec![comm.rank() as u64; 12],
+                3,
+                split_vec_segments,
+                unsplit_vec_segments,
+                bytes_u64,
+                add,
+            );
+            let mut ar = comm.iallreduce_pipelined_ring(
+                vec![comm.rank() as u64 + 1; 12],
+                3,
+                split_vec_segments,
+                unsplit_vec_segments,
+                bytes_u64,
+                add,
+            );
+            (bc.wait().unwrap(), rd.wait().unwrap(), ar.wait().unwrap())
+        });
+        let sum_ranks: u64 = (0..p as u64).sum();
+        let sum_plus: u64 = (1..=p as u64).sum();
+        for (r, (bc, rd, ar)) in outcome.results.iter().enumerate() {
+            assert_eq!(bc, &vec![3u64; 12]);
+            if r == 2 {
+                assert_eq!(rd.as_ref().unwrap(), &vec![sum_ranks; 12]);
+            } else {
+                assert!(rd.is_none());
+            }
+            assert_eq!(ar, &vec![sum_plus; 12]);
+        }
+    }
+
+    #[test]
+    fn pipelined_schedules_beat_monolithic_at_large_sizes() {
+        // The acceptance shape: modeled time of the pipelined schedule vs
+        // the monolithic one, 256 KiB state at p = 8, default cost model.
+        let elems = (256usize << 10) / 8;
+        let p = 8;
+        let mono = Runtime::new(p).run(move |comm| {
+            let value = (comm.rank() == 0).then(|| vec![1u64; elems]);
+            comm.bcast_vec(0, value);
+        });
+        let segs = crate::cost::BcastAlgorithm::tree_segments(
+            &CostModel::cluster_2006(),
+            p,
+            elems * 8,
+        );
+        let piped = Runtime::new(p).run(move |comm| {
+            let value = (comm.rank() == 0).then(|| vec![1u64; elems]);
+            comm.bcast_pipelined(
+                0,
+                value,
+                segs,
+                split_vec_segments,
+                unsplit_vec_segments,
+                bytes_u64,
+            );
+        });
+        assert!(
+            piped.modeled_seconds * 2.0 <= mono.modeled_seconds,
+            "pipelined bcast {} vs monolithic {}",
+            piped.modeled_seconds,
+            mono.modeled_seconds
+        );
+    }
+
+    #[test]
+    fn all_pipelined_schedules_match_oracle_up_to_seventeen_ranks() {
+        // Wide-p sweep past the power-of-two edge cases (9, 16, 17) with a
+        // non-commutative operator: element-wise string concat is only
+        // correct if every schedule combines strictly in rank order.
+        for p in [1usize, 2, 3, 9, 11, 16, 17] {
+            let segments = 3;
+            let outcome = Runtime::new(p).run(move |comm| {
+                let state = vec![comm.rank().to_string(); 4];
+                let wire = |v: &Vec<String>| v.iter().map(String::len).sum();
+                let ar = comm.allreduce_pipelined_ring(
+                    state.clone(),
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    concat,
+                );
+                let at = comm.allreduce_pipelined_tree(
+                    state.clone(),
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    concat,
+                );
+                let rd = comm.reduce_pipelined(
+                    p - 1,
+                    state,
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                    concat,
+                );
+                let bc = comm.bcast_pipelined(
+                    0,
+                    (comm.rank() == 0).then(|| vec!["x".to_string(); 4]),
+                    segments,
+                    split_vec_segments,
+                    unsplit_vec_segments,
+                    wire,
+                );
+                (ar, at, rd, bc)
+            });
+            let oracle: String = (0..p).map(|r| r.to_string()).collect();
+            for (r, (ar, at, rd, bc)) in outcome.results.iter().enumerate() {
+                assert_eq!(ar, &vec![oracle.clone(); 4], "ring allreduce p={p} r={r}");
+                assert_eq!(at, &vec![oracle.clone(); 4], "tree allreduce p={p} r={r}");
+                if r == p - 1 {
+                    assert_eq!(rd, &Some(vec![oracle.clone(); 4]), "reduce p={p}");
+                } else {
+                    assert!(rd.is_none(), "reduce p={p} r={r}");
+                }
+                assert_eq!(bc, &vec!["x".to_string(); 4], "bcast p={p} r={r}");
+            }
+        }
+    }
+}

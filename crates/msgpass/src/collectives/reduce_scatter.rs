@@ -148,12 +148,15 @@ where
 /// Resumable ring allgather. Step `s ∈ 1..p`: forward the value received
 /// last step (initially your own) to the right, receive rank
 /// `(r − s) mod p`'s value from the left.
+///
+/// Memory discipline: each forwarding hop clones at most once (the
+/// keep-and-forward copy); the final arrival, which is only kept, moves
+/// straight into its slot.
 pub(crate) struct AllgatherRingSchedule<T, B> {
     comm: Comm,
     tag: Tag,
     bytes_of: B,
     slots: Vec<Option<T>>,
-    travelling: Option<T>,
     step: usize,
 }
 
@@ -165,29 +168,24 @@ where
     pub(crate) fn new(comm: Comm, value: T, salt: Tag, bytes_of: B) -> Self {
         let p = comm.size();
         let r = comm.rank();
-        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        let travelling = value.clone();
-        slots[r] = Some(value);
-        let schedule = AllgatherRingSchedule {
+        let mut schedule = AllgatherRingSchedule {
             comm,
             tag: TAG_ALLGATHER_RING + salt,
             bytes_of,
-            slots,
-            travelling: Some(travelling),
+            slots: (0..p).map(|_| None).collect(),
             step: 1,
         };
         if p > 1 {
-            schedule.send_travelling();
+            schedule.send_value(value.clone());
         }
+        schedule.slots[r] = Some(value);
         schedule
     }
 
-    fn send_travelling(&self) {
+    fn send_value(&self, value: T) {
         let right = (self.comm.rank() + 1) % self.comm.size();
-        let travelling = self.travelling.as_ref().expect("travelling value is live");
-        let bytes = (self.bytes_of)(travelling);
-        self.comm
-            .send_with_bytes(right, self.tag, travelling.clone(), bytes);
+        let bytes = (self.bytes_of)(&value);
+        self.comm.send_with_bytes(right, self.tag, value, bytes);
     }
 }
 
@@ -207,12 +205,12 @@ where
             let Some(incoming) = self.comm.try_recv_schedule::<T>(left, self.tag)? else {
                 return Ok(None);
             };
-            self.slots[(r + p - self.step) % p] = Some(incoming.clone());
-            self.travelling = Some(incoming);
+            let slot = (r + p - self.step) % p;
             self.step += 1;
             if self.step < p {
-                self.send_travelling();
+                self.send_value(incoming.clone());
             }
+            self.slots[slot] = Some(incoming);
         }
         Ok(Some(
             self.slots

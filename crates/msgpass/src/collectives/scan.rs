@@ -418,7 +418,7 @@ mod tests {
             for (r, (ex, inc)) in both.results.iter().enumerate() {
                 assert_eq!(inc, &inc_only.results[r], "p={p} r={r}");
                 assert_eq!(
-                    ex.clone().unwrap_or_default(),
+                    ex.as_deref().unwrap_or(""),
                     exc_only.results[r],
                     "p={p} r={r}"
                 );

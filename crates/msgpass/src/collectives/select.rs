@@ -1,17 +1,27 @@
 //! Cost-driven collective algorithm selection.
 //!
-//! The runtime has three allreduce schedules and three scan schedules
-//! with different α–β profiles and different correctness preconditions
-//! (see [`AllreduceAlgorithm`] and [`ScanAlgorithm`]); these entry
-//! points pick the cheapest *eligible* one per call from the
-//! communicator's cost model, the call's wire size, and the operator's
-//! declared properties — the paper's point that the operator abstraction
-//! is what lets the runtime choose better combine schedules.
+//! The runtime has four allreduce schedules, three scan schedules, and
+//! two schedules each for broadcast and rooted reduce, with different
+//! α–β profiles and different correctness preconditions (see
+//! [`AllreduceAlgorithm`], [`ScanAlgorithm`], [`BcastAlgorithm`],
+//! [`ReduceAlgorithm`]); these entry points pick the cheapest
+//! *eligible* one per call from the communicator's cost model, the
+//! call's wire size, and the operator's declared properties — the
+//! paper's point that the operator abstraction is what lets the
+//! runtime choose better combine schedules.
 //!
-//! For allreduce the discriminating declaration is commutativity (+
-//! splittability): [`Comm::allreduce`] is the scalar-state entry point
-//! (reduce-scatter ineligible: nothing to split);
-//! [`Comm::allreduce_splittable`] is the full three-way selector.
+//! For allreduce the discriminating declarations are commutativity and
+//! splittability: [`Comm::allreduce`] is the scalar-state entry point
+//! (nothing to split, so neither reduce-scatter nor the pipelined ring
+//! is eligible); [`Comm::allreduce_splittable`] is the full four-way
+//! selector, where reduce-scatter + allgather additionally needs a
+//! commutative operator but the pipelined ring (combining in strict
+//! rank order) does not.
+//!
+//! For broadcast and rooted reduce only splittability discriminates:
+//! [`Comm::bcast_splittable`] / [`Comm::reduce_splittable`] choose
+//! between the whole-state binomial tree and its segment-pipelined
+//! variant from `collectives::pipeline`.
 //!
 //! For scans every candidate schedule combines in rank order, so only
 //! *splittability* discriminates: [`Comm::scan_inclusive`] /
@@ -33,13 +43,15 @@
 //! same latency-optimal default.
 
 use super::allreduce_rd::AllreduceRdSchedule;
+use super::bcast::BcastSchedule;
+use super::pipeline::{RingAllreduceSchedule, TreeAllreduceSchedule};
 use super::reduce::AllreduceRbSchedule;
 use super::reduce_scatter::AllreduceRsagSchedule;
 use super::scan::ScanRdSchedule;
 use super::scan_binomial::ScanBinomialSchedule;
 use super::scan_chain::ScanChainSchedule;
 use crate::comm::Comm;
-use crate::cost::{AllreduceAlgorithm, ScanAlgorithm};
+use crate::cost::{AllreduceAlgorithm, BcastAlgorithm, ReduceAlgorithm, ScanAlgorithm};
 use crate::request::{Map, Request};
 use crate::stats::CallKind;
 
@@ -135,9 +147,28 @@ impl Comm {
         bytes_of: impl Fn(&T) -> usize + Clone,
         combine: impl FnMut(T, T) -> T,
     ) -> T {
-        match self.select_allreduce_algorithm(bytes_of(&value), commutative, true) {
+        let bytes = bytes_of(&value);
+        match self.select_allreduce_algorithm(bytes, commutative, true) {
             AllreduceAlgorithm::ReduceScatterAllgather => {
                 self.allreduce_reduce_scatter(value, split, unsplit, bytes_of, combine)
+            }
+            AllreduceAlgorithm::PipelinedRing => {
+                // Same deterministic model the selector priced from, so
+                // schedule and estimate always agree.
+                let segments = AllreduceAlgorithm::ring_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                self.allreduce_pipelined_ring(value, segments, split, unsplit, bytes_of, combine)
+            }
+            AllreduceAlgorithm::PipelinedTree => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                self.allreduce_pipelined_tree(value, segments, split, unsplit, bytes_of, combine)
             }
             AllreduceAlgorithm::ReduceBroadcast => {
                 self.allreduce_reduce_bcast(value, commutative, bytes_of, combine)
@@ -158,27 +189,220 @@ impl Comm {
         bytes_of: impl Fn(&T) -> usize + Clone + 'static,
         combine: impl FnMut(T, T) -> T + 'static,
     ) -> Request<T> {
-        let algo = self.select_allreduce_algorithm(bytes_of(&value), commutative, true);
-        if algo != AllreduceAlgorithm::ReduceScatterAllgather {
-            return self.iallreduce(value, commutative, bytes_of, combine);
+        let bytes = bytes_of(&value);
+        match self.select_allreduce_algorithm(bytes, commutative, true) {
+            AllreduceAlgorithm::ReduceScatterAllgather => {
+                self.stats().record_call(CallKind::Allreduce);
+                self.stats()
+                    .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
+                let salt = self.next_collective_salt();
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    AllreduceRsagSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        salt,
+                        split,
+                        unsplit,
+                        bytes_of,
+                        combine,
+                    )
+                };
+                Request::register(self, schedule)
+            }
+            AllreduceAlgorithm::PipelinedRing => {
+                self.stats().record_call(CallKind::Allreduce);
+                self.stats()
+                    .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedRing);
+                let segments = AllreduceAlgorithm::ring_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                let salt = self.next_collective_salt();
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    RingAllreduceSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        segments,
+                        split,
+                        salt,
+                        bytes_of,
+                        combine,
+                        unsplit,
+                    )
+                };
+                Request::register(self, schedule)
+            }
+            AllreduceAlgorithm::PipelinedTree => {
+                self.stats().record_call(CallKind::Allreduce);
+                self.stats()
+                    .record_allreduce_algorithm(AllreduceAlgorithm::PipelinedTree);
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                let salt = self.next_collective_salt();
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    TreeAllreduceSchedule::new(
+                        self.clone_handle(),
+                        value,
+                        segments,
+                        split,
+                        salt,
+                        bytes_of,
+                        combine,
+                        unsplit,
+                    )
+                };
+                Request::register(self, schedule)
+            }
+            _ => self.iallreduce(value, commutative, bytes_of, combine),
         }
-        self.stats().record_call(CallKind::Allreduce);
-        self.stats()
-            .record_allreduce_algorithm(AllreduceAlgorithm::ReduceScatterAllgather);
-        let salt = self.next_collective_salt();
-        let schedule = {
-            let _guard = self.enter_collective();
-            AllreduceRsagSchedule::new(
-                self.clone_handle(),
-                value,
-                salt,
-                split,
-                unsplit,
-                bytes_of,
-                combine,
-            )
-        };
-        Request::register(self, schedule)
+    }
+
+    /// Picks the cheapest eligible broadcast schedule for a state of
+    /// `wire_bytes` bytes under this communicator's selection cost
+    /// model. `splittable` says whether the caller could run the
+    /// segment-pipelined tree at all.
+    pub fn select_bcast_algorithm(&self, wire_bytes: usize, splittable: bool) -> BcastAlgorithm {
+        BcastAlgorithm::select(
+            &self.selection_cost_model(wire_bytes),
+            self.size(),
+            wire_bytes,
+            splittable,
+        )
+    }
+
+    /// Broadcast with cost-driven schedule selection for splittable
+    /// states: whole-state binomial tree vs. the segment-pipelined tree.
+    /// `wire_bytes` is passed explicitly because only the root owns the
+    /// value — every rank must feed the selector the same size (the SPMD
+    /// convention), so the caller supplies it rather than this rank
+    /// measuring a value it may not have.
+    pub fn bcast_splittable<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        wire_bytes: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+    ) -> T {
+        match self.select_bcast_algorithm(wire_bytes, true) {
+            BcastAlgorithm::Pipelined => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(wire_bytes),
+                    self.size(),
+                    wire_bytes,
+                );
+                self.bcast_pipelined(root, value, segments, split, unsplit, bytes_of)
+            }
+            BcastAlgorithm::Binomial => {
+                self.stats().record_call(CallKind::Bcast);
+                self.stats().record_bcast_algorithm(BcastAlgorithm::Binomial);
+                let salt = self.next_collective_salt();
+                self.bcast_impl(root, value, salt, bytes_of)
+            }
+        }
+    }
+
+    /// Non-blocking [`bcast_splittable`](Self::bcast_splittable).
+    pub fn ibcast_splittable<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        wire_bytes: usize,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+    ) -> Request<T> {
+        match self.select_bcast_algorithm(wire_bytes, true) {
+            BcastAlgorithm::Pipelined => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(wire_bytes),
+                    self.size(),
+                    wire_bytes,
+                );
+                self.ibcast_pipelined(root, value, segments, split, unsplit, bytes_of)
+            }
+            BcastAlgorithm::Binomial => {
+                self.stats().record_call(CallKind::Bcast);
+                self.stats().record_bcast_algorithm(BcastAlgorithm::Binomial);
+                let salt = self.next_collective_salt();
+                let schedule = {
+                    let _guard = self.enter_collective();
+                    BcastSchedule::new(self.clone_handle(), root, value, salt, bytes_of)
+                };
+                Request::register(self, schedule)
+            }
+        }
+    }
+
+    /// Picks the cheapest eligible rooted-reduce schedule for a state of
+    /// `wire_bytes` bytes under this communicator's selection cost
+    /// model. Both candidates combine in rank order, so — as for scans —
+    /// only splittability discriminates, never commutativity.
+    pub fn select_reduce_algorithm(&self, wire_bytes: usize, splittable: bool) -> ReduceAlgorithm {
+        ReduceAlgorithm::select(
+            &self.selection_cost_model(wire_bytes),
+            self.size(),
+            wire_bytes,
+            splittable,
+        )
+    }
+
+    /// Rooted reduce with cost-driven schedule selection for splittable
+    /// states: whole-state binomial tree vs. the segment-pipelined tree.
+    /// Returns `Some(result)` at the root, `None` elsewhere.
+    pub fn reduce_splittable<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T,
+        bytes_of: impl Fn(&T) -> usize,
+        combine: impl FnMut(T, T) -> T,
+    ) -> Option<T> {
+        let bytes = bytes_of(&value);
+        match self.select_reduce_algorithm(bytes, true) {
+            ReduceAlgorithm::Pipelined => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                self.reduce_pipelined(root, value, segments, split, unsplit, bytes_of, combine)
+            }
+            ReduceAlgorithm::Binomial => self.reduce(root, value, bytes_of, combine),
+        }
+    }
+
+    /// Non-blocking [`reduce_splittable`](Self::reduce_splittable).
+    pub fn ireduce_splittable<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        split: impl FnOnce(T, usize) -> Vec<T>,
+        unsplit: impl FnOnce(Vec<T>) -> T + 'static,
+        bytes_of: impl Fn(&T) -> usize + 'static,
+        combine: impl FnMut(T, T) -> T + 'static,
+    ) -> Request<Option<T>> {
+        let bytes = bytes_of(&value);
+        match self.select_reduce_algorithm(bytes, true) {
+            ReduceAlgorithm::Pipelined => {
+                let segments = BcastAlgorithm::tree_segments(
+                    &self.selection_cost_model(bytes),
+                    self.size(),
+                    bytes,
+                );
+                self.ireduce_pipelined(root, value, segments, split, unsplit, bytes_of, combine)
+            }
+            ReduceAlgorithm::Binomial => self.ireduce(root, value, bytes_of, combine),
+        }
     }
 
     /// Picks the cheapest eligible scan schedule for a state of
@@ -554,11 +778,15 @@ mod tests {
 
     #[test]
     fn splittable_selector_falls_back_when_not_commutative() {
+        // Declared non-commutative: the circulant reduce-scatter is
+        // ineligible at any size. At 8 KiB the pipelined ring is eligible
+        // but loses to recursive doubling on latency, so the selector
+        // falls back to full-state rounds.
         let outcome = Runtime::new(8).run(|comm| {
-            let state = vec![comm.rank() as u64; 8 << 10];
+            let state = vec![comm.rank() as u64; 1 << 10];
             comm.allreduce_splittable(
                 state,
-                false, // declared non-commutative: ring is ineligible
+                false,
                 gv_core::split::split_vec_segments,
                 gv_core::split::unsplit_vec_segments,
                 wire,
@@ -566,7 +794,7 @@ mod tests {
             )
         });
         for res in &outcome.results {
-            assert_eq!(res, &vec![28u64; 8 << 10]);
+            assert_eq!(res, &vec![28u64; 1 << 10]);
         }
         assert_eq!(
             outcome
@@ -654,6 +882,225 @@ mod tests {
                 .allreduce_algorithm_calls(AllreduceAlgorithm::ReduceScatterAllgather),
             8
         );
+    }
+
+    #[test]
+    fn splittable_selector_pipelines_large_non_commutative_states() {
+        // 256 KiB, declared non-commutative: RS+AG is ineligible, but the
+        // rank-order pipelined schedules are — and at this size and rank
+        // count the fused tree beats both recursive doubling's full-state
+        // rounds and the ring's 2(p−1)-hop trip, so large non-commutative
+        // states pipeline instead of falling back.
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 32 << 10]; // 256 KiB
+            comm.allreduce_splittable(
+                state,
+                false,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        for res in &outcome.results {
+            assert_eq!(res, &vec![28u64; 32 << 10]);
+        }
+        assert_eq!(
+            outcome
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedTree),
+            8
+        );
+        assert_eq!(outcome.stats.calls(CallKind::Allreduce), 8);
+        // At p=2 the tree and ring estimates tie exactly (same two-hop
+        // pipeline) and the tie goes to the ring — the earlier candidate —
+        // which keeps the ring arm of the selector exercised end to end.
+        let pair = Runtime::new(2).run(|comm| {
+            let state = vec![comm.rank() as u64 + 1; 8 << 10]; // 64 KiB
+            comm.allreduce_splittable(
+                state,
+                false,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        for res in &pair.results {
+            assert_eq!(res, &vec![3u64; 8 << 10]);
+        }
+        assert_eq!(
+            pair.stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedRing),
+            2
+        );
+    }
+
+    #[test]
+    fn iallreduce_splittable_routes_pipelined_tree_like_blocking() {
+        let blocking = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 32 << 10];
+            comm.allreduce_splittable(
+                state,
+                false,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        let nonblocking = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 32 << 10];
+            let mut req = comm.iallreduce_splittable(
+                state,
+                false,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            );
+            req.wait().unwrap()
+        });
+        assert_eq!(blocking.results, nonblocking.results);
+        assert_eq!(
+            blocking
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedTree),
+            8,
+            "256 KiB non-commutative at p=8 must route the pipelined tree"
+        );
+        assert_eq!(
+            blocking
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedTree),
+            nonblocking
+                .stats
+                .allreduce_algorithm_calls(AllreduceAlgorithm::PipelinedTree),
+        );
+        assert_eq!(
+            blocking.stats.messages, nonblocking.stats.messages,
+            "same schedule must move the same messages"
+        );
+    }
+
+    #[test]
+    fn bcast_selector_pipelines_large_states_and_keeps_binomial_small() {
+        use crate::cost::BcastAlgorithm;
+        // Large splittable payload: pipelined tree.
+        let large = Runtime::new(8).run(|comm| {
+            let value = (comm.rank() == 0).then(|| vec![9u64; 32 << 10]);
+            comm.bcast_splittable(
+                0,
+                value,
+                (32 << 10) * 8,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+            )
+        });
+        assert_eq!(large.results, vec![vec![9u64; 32 << 10]; 8]);
+        assert_eq!(
+            large.stats.bcast_algorithm_calls(BcastAlgorithm::Pipelined),
+            8
+        );
+        assert_eq!(large.stats.calls(CallKind::Bcast), 8);
+        // Small payload at the same entry point: ties go to binomial, so
+        // the existing schedule keeps running bit-for-bit.
+        let small = Runtime::new(8).run(|comm| {
+            let value = (comm.rank() == 0).then(|| vec![9u64; 4]);
+            comm.bcast_splittable(
+                0,
+                value,
+                32,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+            )
+        });
+        assert_eq!(small.results, vec![vec![9u64; 4]; 8]);
+        assert_eq!(
+            small.stats.bcast_algorithm_calls(BcastAlgorithm::Binomial),
+            8
+        );
+        assert_eq!(
+            small.stats.bcast_algorithm_calls(BcastAlgorithm::Pipelined),
+            0
+        );
+    }
+
+    #[test]
+    fn plain_bcast_never_routes_to_pipelined_schedules() {
+        use crate::cost::BcastAlgorithm;
+        // The non-splittable entry points must record Binomial regardless
+        // of size: without a split function the pipelined tree is
+        // ineligible, full stop.
+        let outcome = Runtime::new(4).run(|comm| {
+            let value = (comm.rank() == 2).then(|| vec![1u8; 1 << 20]);
+            comm.bcast_vec(2, value)
+        });
+        assert_eq!(
+            outcome.stats.bcast_algorithm_calls(BcastAlgorithm::Binomial),
+            4
+        );
+        assert_eq!(
+            outcome.stats.bcast_algorithm_calls(BcastAlgorithm::Pipelined),
+            0
+        );
+    }
+
+    #[test]
+    fn reduce_splittable_pipelines_large_states() {
+        let outcome = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 32 << 10]; // 256 KiB
+            comm.reduce_splittable(
+                3,
+                state,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        for (r, res) in outcome.results.iter().enumerate() {
+            if r == 3 {
+                assert_eq!(res, &Some(vec![28u64; 32 << 10]));
+            } else {
+                assert!(res.is_none(), "non-root rank {r} must get None");
+            }
+        }
+        // (⌈log₂8⌉ + S − 1 stages) · … — the message count pins the route:
+        // a monolithic binomial reduce moves exactly p−1 messages, the
+        // pipelined tree (p−1)·S with S > 1 at this size.
+        assert!(
+            outcome.stats.messages > 7,
+            "expected pipelined reduce traffic, got {} messages",
+            outcome.stats.messages
+        );
+        // Small states keep the monolithic tree: exactly p−1 messages.
+        let small = Runtime::new(8).run(|comm| {
+            comm.reduce_splittable(
+                0,
+                vec![comm.rank() as u64; 4],
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            )
+        });
+        assert_eq!(small.stats.messages, 7);
+        let mut ireduce = Runtime::new(8).run(|comm| {
+            let state = vec![comm.rank() as u64; 32 << 10];
+            let mut req = comm.ireduce_splittable(
+                3,
+                state,
+                gv_core::split::split_vec_segments,
+                gv_core::split::unsplit_vec_segments,
+                wire,
+                add,
+            );
+            req.wait().unwrap()
+        });
+        assert_eq!(ireduce.results.remove(3), Some(vec![28u64; 32 << 10]));
     }
 
     #[test]

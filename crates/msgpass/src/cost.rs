@@ -95,6 +95,29 @@ pub fn max_segment_bytes(bytes: usize, parts: usize) -> usize {
     (elems.div_ceil(parts) * ELEM).min(bytes)
 }
 
+/// Deterministic segment count for a pipelined schedule whose critical
+/// path is `depth` hops: minimizes the stage term `(depth+S−1)(α + βn/S)`
+/// at `S* = √(depth·βn/α)`, clamped to `[1, 64]` and to segments of at
+/// least 512 bytes. Depends only on `(cost, depth, bytes)`, so every rank
+/// computes the same schedule and the estimate prices the schedule
+/// actually run. The chain scan (`depth = p−1`), the pipelined binomial
+/// tree (effective `depth = 2`, see
+/// [`BcastAlgorithm::tree_segments`]), and the pipelined ring allreduce
+/// (`depth = 2(p−1)`) all share this chooser.
+pub fn pipeline_segments(cost: &CostModel, depth: usize, bytes: usize) -> usize {
+    if depth == 0 || bytes == 0 {
+        return 1;
+    }
+    let ideal = (depth as f64 * cost.beta * bytes as f64 / cost.alpha).sqrt();
+    let cap = 64.0_f64.min((bytes / 512).max(1) as f64);
+    if ideal.is_nan() {
+        // α = β = 0 (the free model): segmentation is cost-neutral.
+        1
+    } else {
+        ideal.round().clamp(1.0, cap) as usize
+    }
+}
+
 /// The allreduce schedules the runtime can choose between.
 ///
 /// Selection is cost-driven: [`AllreduceAlgorithm::select`] evaluates the
@@ -125,14 +148,40 @@ pub enum AllreduceAlgorithm {
     /// for large states at *any* p; requires commutativity and a
     /// splittable state.
     ReduceScatterAllgather,
+    /// Segment-pipelined ring: a reduce ring (rank 0 → p−1) followed by a
+    /// broadcast ring, with segment `j` one hop behind segment `j−1`:
+    /// `2(p−1)(α + β·n/S) + (S−1)·α`, plus a saturation term once the
+    /// broadcast wave catches the still-draining reduce ring (see
+    /// `ring_cost`). The first term is the first segment's full trip;
+    /// later segments drain one per `α` behind it (each rank's
+    /// per-segment occupancy is one receive plus one send at `α/2`
+    /// apiece, while the `β` terms of in-flight segments overlap on the
+    /// wire). Combines strictly in rank order, so — unlike
+    /// reduce-scatter+allgather — it serves *non-commutative* operators;
+    /// it only needs a splittable state.
+    PipelinedRing,
+    /// Fused segment-pipelined binomial tree: each segment is reduced up
+    /// the tree to rank 0 (children combined in increasing-mask order —
+    /// rank-order safe) and relayed straight down the same tree the
+    /// moment it completes, so the broadcast of segment `j` overlaps the
+    /// reduce of segment `j+1`:
+    /// `2⌈log₂p⌉(α + β·n/S) + (S−1)⌈log₂p⌉·α`. The first term is one
+    /// segment's round trip; the drain spacing is rank 0's per-segment
+    /// occupancy — up to `⌈log₂p⌉` receives on the way up plus as many
+    /// child sends on the way down, at `α/2` apiece. Trades the ring's
+    /// `2(p−1)` latency hops for `2⌈log₂p⌉`, so it overtakes the ring as
+    /// `p` grows; requires only a splittable state.
+    PipelinedTree,
 }
 
 impl AllreduceAlgorithm {
     /// All algorithms, for iteration and display.
-    pub const ALL: [AllreduceAlgorithm; 3] = [
+    pub const ALL: [AllreduceAlgorithm; 5] = [
         AllreduceAlgorithm::ReduceBroadcast,
         AllreduceAlgorithm::RecursiveDoubling,
         AllreduceAlgorithm::ReduceScatterAllgather,
+        AllreduceAlgorithm::PipelinedRing,
+        AllreduceAlgorithm::PipelinedTree,
     ];
 
     /// Human-readable name.
@@ -141,6 +190,58 @@ impl AllreduceAlgorithm {
             AllreduceAlgorithm::ReduceBroadcast => "reduce+bcast",
             AllreduceAlgorithm::RecursiveDoubling => "recursive-doubling",
             AllreduceAlgorithm::ReduceScatterAllgather => "reduce-scatter+allgather",
+            AllreduceAlgorithm::PipelinedRing => "pipelined-ring",
+            AllreduceAlgorithm::PipelinedTree => "pipelined-tree",
+        }
+    }
+
+    /// Segment count the pipelined ring uses for a `bytes`-byte state
+    /// over `ranks` ranks: the argmin of [`Self::ring_cost`] over the
+    /// same `[1, min(64, bytes/512)]` range the closed-form chooser
+    /// scans. A closed form exists for the unsaturated cost (`S* =
+    /// √(2(p−1)βn/α)`), but the saturation term bends the optimum back
+    /// toward the knee, so the chooser scans — 64 evaluations of an
+    /// arithmetic formula, deterministic on every rank.
+    pub fn ring_segments(cost: &CostModel, ranks: usize, bytes: usize) -> usize {
+        Self::ring_plan(cost, ranks, bytes).0
+    }
+
+    /// `(argmin segments, min cost)` of the ring's corrected estimate.
+    fn ring_plan(cost: &CostModel, ranks: usize, bytes: usize) -> (usize, f64) {
+        if ranks <= 1 {
+            return (1, 0.0);
+        }
+        let cap = 64.min((bytes / 512).max(1));
+        let mut best = (1, Self::ring_cost(cost, ranks, bytes, 1));
+        for s in 2..=cap {
+            let c = Self::ring_cost(cost, ranks, bytes, s);
+            if c < best.1 {
+                best = (s, c);
+            }
+        }
+        best
+    }
+
+    /// α–β cost of the pipelined ring at an explicit segment count:
+    /// `2(p−1)(α + β·n/S) + (S−1)·α`, plus a saturation term once the
+    /// broadcast ring's wave catches the still-draining reduce ring.
+    /// From there every intermediate rank serves a hop of *both* phases
+    /// per segment — `2α` of occupancy against the `α` drain spacing —
+    /// so each overlapped segment costs one extra `α`:
+    /// `max(0, S·α − (p−1)(α + β·n/S))`. At p=2 no rank forwards finals
+    /// (the broadcast hop is the reduce hop's return leg), so the term
+    /// does not apply. Measured drains confirm both regimes; the model
+    /// is exact below the knee and a few percent conservative above it.
+    fn ring_cost(cost: &CostModel, ranks: usize, bytes: usize, segments: usize) -> f64 {
+        let p = ranks as f64;
+        let s = segments.max(1);
+        let seg = max_segment_bytes(bytes, s);
+        let base = 2.0 * (p - 1.0) * cost.transit(seg) + (s as f64 - 1.0) * cost.alpha;
+        if ranks >= 3 {
+            let overlap = s as f64 * cost.alpha - (p - 1.0) * cost.transit(seg);
+            base + overlap.max(0.0)
+        } else {
+            base
         }
     }
 
@@ -173,6 +274,27 @@ impl AllreduceAlgorithm {
                 let seg = max_segment_bytes(bytes, ranks);
                 2.0 * (q * cost.alpha + (p - 1.0) * seg as f64 * cost.beta)
             }
+            AllreduceAlgorithm::PipelinedRing => {
+                // First segment pays the full 2(p−1)-hop trip; each later
+                // segment drains one α behind it (per-rank occupancy:
+                // receive + send at α/2 each, β overlapped on the wire),
+                // plus the phase-overlap saturation priced in
+                // [`Self::ring_cost`]. The estimate is the cost at the
+                // chooser's own segment count, so schedule and price
+                // always agree.
+                Self::ring_plan(cost, ranks, bytes).1
+            }
+            AllreduceAlgorithm::PipelinedTree => {
+                // One segment's tree round trip, then a drain tail of rank
+                // 0's per-segment occupancy: ⌈log₂p⌉ receives up plus
+                // ⌈log₂p⌉ child sends down at α/2 each. Segment count is
+                // the tree chooser's (the depth cancels from its optimum
+                // exactly as for the rooted tree schedules).
+                let s = BcastAlgorithm::tree_segments(cost, ranks, bytes);
+                let seg = max_segment_bytes(bytes, s);
+                let depth = p.log2().ceil();
+                2.0 * depth * cost.transit(seg) + (s as f64 - 1.0) * depth * cost.alpha
+            }
         }
     }
 
@@ -193,14 +315,24 @@ impl AllreduceAlgorithm {
         let candidates = [
             AllreduceAlgorithm::RecursiveDoubling,
             AllreduceAlgorithm::ReduceScatterAllgather,
+            AllreduceAlgorithm::PipelinedRing,
+            AllreduceAlgorithm::PipelinedTree,
             AllreduceAlgorithm::ReduceBroadcast,
         ];
         let mut best = AllreduceAlgorithm::RecursiveDoubling;
         let mut best_cost = f64::INFINITY;
         for algo in candidates {
-            if algo == AllreduceAlgorithm::ReduceScatterAllgather
-                && !(commutative && splittable && ranks >= 2)
-            {
+            let eligible = match algo {
+                AllreduceAlgorithm::ReduceScatterAllgather => {
+                    commutative && splittable && ranks >= 2
+                }
+                // Rank-order combines: splittability is the only gate.
+                AllreduceAlgorithm::PipelinedRing | AllreduceAlgorithm::PipelinedTree => {
+                    splittable && ranks >= 2
+                }
+                _ => true,
+            };
+            if !eligible {
                 continue;
             }
             let estimate = algo.estimated_seconds(cost, ranks, bytes);
@@ -210,6 +342,148 @@ impl AllreduceAlgorithm {
             }
         }
         best
+    }
+}
+
+/// The broadcast schedules the runtime can choose between.
+///
+/// Broadcast moves one rank's state to every rank, so there is no
+/// operator and no commutativity question — only *splittability* gates
+/// the pipelined schedule, exactly as for the chain scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum BcastAlgorithm {
+    /// Whole-state binomial tree: `⌈log₂p⌉(α + βn)`. Latency-optimal;
+    /// the small-state default.
+    Binomial,
+    /// Segment-pipelined binomial tree: segment `j` flows down the tree
+    /// behind segment `j−1`, `⌈log₂p⌉(α + β·n/S) + (S−1)⌈log₂p⌉·α/2`.
+    /// The first term is the first segment's descent; later segments are
+    /// spaced by the root's fan-out occupancy — it re-sends each segment
+    /// to all ⌈log₂p⌉ children at `α/2` apiece before starting the next,
+    /// while the `β` terms of in-flight segments overlap on the wire.
+    /// Requires a splittable state.
+    Pipelined,
+}
+
+impl BcastAlgorithm {
+    /// All algorithms, for iteration and display.
+    pub const ALL: [BcastAlgorithm; 2] = [BcastAlgorithm::Binomial, BcastAlgorithm::Pipelined];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BcastAlgorithm::Binomial => "binomial",
+            BcastAlgorithm::Pipelined => "pipelined-binomial",
+        }
+    }
+
+    /// Segment count the pipelined tree uses for a `bytes`-byte state
+    /// over `ranks` ranks. Both the bandwidth term (`depth·β·n/S`) and
+    /// the pipeline tail (`(S−1)·depth·α/2`) scale with the tree depth,
+    /// so the depth cancels out of the optimum: `S* = √(2βn/α)`, i.e.
+    /// [`pipeline_segments`] with an effective depth of 2 (β·n balanced
+    /// against α/2), at every rank count.
+    pub fn tree_segments(cost: &CostModel, ranks: usize, bytes: usize) -> usize {
+        if ranks <= 1 {
+            return 1;
+        }
+        pipeline_segments(cost, 2, bytes)
+    }
+
+    /// α–β estimate of one broadcast of a `bytes`-byte state over
+    /// `ranks` ranks (critical-path transit time only).
+    pub fn estimated_seconds(self, cost: &CostModel, ranks: usize, bytes: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let depth = ranks.next_power_of_two().trailing_zeros() as f64;
+        match self {
+            BcastAlgorithm::Binomial => depth * cost.transit(bytes),
+            BcastAlgorithm::Pipelined => {
+                // First segment descends the tree; later segments are
+                // spaced by the root's fan-out (⌈log₂p⌉ child sends at
+                // α/2 each per segment), β overlapped on the wire.
+                let s = Self::tree_segments(cost, ranks, bytes);
+                let seg = max_segment_bytes(bytes, s);
+                depth * cost.transit(seg) + (s as f64 - 1.0) * depth * cost.alpha / 2.0
+            }
+        }
+    }
+
+    /// Picks the cheapest eligible broadcast schedule. Ties go to the
+    /// earlier entry (the whole-state binomial), so small states — where
+    /// the segment chooser returns S = 1 and the two estimates coincide —
+    /// keep the existing schedule bit-for-bit.
+    pub fn select(cost: &CostModel, ranks: usize, bytes: usize, splittable: bool) -> BcastAlgorithm {
+        let mut best = BcastAlgorithm::Binomial;
+        let mut best_cost = f64::INFINITY;
+        for algo in BcastAlgorithm::ALL {
+            if algo == BcastAlgorithm::Pipelined && !(splittable && ranks >= 2) {
+                continue;
+            }
+            let estimate = algo.estimated_seconds(cost, ranks, bytes);
+            if estimate < best_cost {
+                best = algo;
+                best_cost = estimate;
+            }
+        }
+        best
+    }
+}
+
+/// The rooted-reduce schedules the runtime can choose between.
+///
+/// Both candidates combine in rank order (the binomial tree receives
+/// children in increasing-mask order; the pipelined variant preserves the
+/// same association per segment), so commutativity never gates the
+/// choice — only splittability does, as for broadcast and scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum ReduceAlgorithm {
+    /// Whole-state binomial tree to the root: `⌈log₂p⌉(α + βn)`.
+    Binomial,
+    /// Segment-pipelined binomial tree: `(⌈log₂p⌉+S−1)(α + β·n/S)`.
+    /// Requires a splittable state.
+    Pipelined,
+}
+
+impl ReduceAlgorithm {
+    /// All algorithms, for iteration and display.
+    pub const ALL: [ReduceAlgorithm; 2] = [ReduceAlgorithm::Binomial, ReduceAlgorithm::Pipelined];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceAlgorithm::Binomial => "binomial",
+            ReduceAlgorithm::Pipelined => "pipelined-binomial",
+        }
+    }
+
+    /// α–β estimate of one rooted reduce of a `bytes`-byte state over
+    /// `ranks` ranks (critical-path transit time only; the tree depth
+    /// matches broadcast's, so the formulas mirror [`BcastAlgorithm`]).
+    pub fn estimated_seconds(self, cost: &CostModel, ranks: usize, bytes: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        match self {
+            ReduceAlgorithm::Binomial => {
+                BcastAlgorithm::Binomial.estimated_seconds(cost, ranks, bytes)
+            }
+            ReduceAlgorithm::Pipelined => {
+                BcastAlgorithm::Pipelined.estimated_seconds(cost, ranks, bytes)
+            }
+        }
+    }
+
+    /// Picks the cheapest eligible reduce schedule; ties go to the
+    /// whole-state binomial, exactly as for [`BcastAlgorithm::select`].
+    pub fn select(cost: &CostModel, ranks: usize, bytes: usize, splittable: bool) -> ReduceAlgorithm {
+        match BcastAlgorithm::select(cost, ranks, bytes, splittable) {
+            BcastAlgorithm::Binomial => ReduceAlgorithm::Binomial,
+            BcastAlgorithm::Pipelined => ReduceAlgorithm::Pipelined,
+        }
     }
 }
 
@@ -305,22 +579,13 @@ impl ScanAlgorithm {
     }
 
     /// Deterministic segment count for the pipelined chain: minimizes the
-    /// stage term `(p+S−2)(α + βn/S)` at `S* = √((p−1)·βn/α)`, clamped to
-    /// `[1, 64]` and to segments of at least 512 bytes. Depends only on
-    /// `(cost, ranks, bytes)`, so every rank computes the same schedule
-    /// and the estimate prices the schedule actually run.
+    /// stage term `(p+S−2)(α + βn/S)` at `S* = √((p−1)·βn/α)` — the
+    /// shared [`pipeline_segments`] chooser at chain depth `p−1`.
     pub fn chain_segments(cost: &CostModel, ranks: usize, bytes: usize) -> usize {
-        if ranks <= 1 || bytes == 0 {
+        if ranks <= 1 {
             return 1;
         }
-        let ideal = ((ranks as f64 - 1.0) * cost.beta * bytes as f64 / cost.alpha).sqrt();
-        let cap = 64.0_f64.min((bytes / 512).max(1) as f64);
-        if ideal.is_nan() {
-            // α = β = 0 (the free model): segmentation is cost-neutral.
-            1
-        } else {
-            ideal.round().clamp(1.0, cap) as usize
-        }
+        pipeline_segments(cost, ranks - 1, bytes)
     }
 
     /// Picks the cheapest eligible scan schedule for one call.
@@ -410,11 +675,14 @@ mod tests {
             AllreduceAlgorithm::select(&m, 8, 64 << 10, true, true),
             AllreduceAlgorithm::ReduceScatterAllgather
         );
-        // Same size but non-commutative or unsplittable: falls back.
+        // Same size but non-commutative: the circulant is ineligible and
+        // the rank-order pipelined tree picks up the win instead (its
+        // 2⌈log₂p⌉ hops beat the ring's 2(p−1) at p=8).
         assert_eq!(
             AllreduceAlgorithm::select(&m, 8, 64 << 10, false, true),
-            AllreduceAlgorithm::RecursiveDoubling
+            AllreduceAlgorithm::PipelinedTree
         );
+        // Unsplittable: neither segmented schedule is eligible.
         assert_eq!(
             AllreduceAlgorithm::select(&m, 8, 64 << 10, true, false),
             AllreduceAlgorithm::RecursiveDoubling
@@ -574,6 +842,137 @@ mod tests {
                 let rd = AllreduceAlgorithm::RecursiveDoubling.estimated_seconds(&m, p, bytes);
                 assert!(rd <= rb, "p={p} bytes={bytes}: rd={rd} rb={rb}");
             }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_serves_large_non_commutative_splittable_states() {
+        let m = CostModel::cluster_2006();
+        // 256 KiB at p=8, non-commutative: RS+AG is ineligible, and the
+        // tree's pipelining beats both recursive doubling's full-state
+        // rounds and the ring's 2(p−1)-hop trip.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 256 << 10, false, true),
+            AllreduceAlgorithm::PipelinedTree
+        );
+        // At p=2 the tree and the ring are the same two-hop pipeline and
+        // their estimates tie exactly; the tie goes to the ring (earlier
+        // in the preference order), and both beat recursive doubling's
+        // single full-state exchange.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 2, 64 << 10, false, true),
+            AllreduceAlgorithm::PipelinedRing
+        );
+        // Commutative at 64 KiB: RS+AG still wins — the pipelined
+        // schedules must not displace the existing large-state pick.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 64 << 10, true, true),
+            AllreduceAlgorithm::ReduceScatterAllgather
+        );
+        // Unsplittable: neither pipelined schedule is eligible at any size.
+        assert_eq!(
+            AllreduceAlgorithm::select(&m, 8, 1 << 20, false, false),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+    }
+
+    #[test]
+    fn ring_segments_are_deterministic_and_clamped() {
+        let m = CostModel::cluster_2006();
+        assert_eq!(AllreduceAlgorithm::ring_segments(&m, 1, 1 << 20), 1);
+        assert_eq!(AllreduceAlgorithm::ring_segments(&m, 8, 8), 1);
+        assert_eq!(AllreduceAlgorithm::ring_segments(&m, 8, 0), 1);
+        // 64 KiB at p=8: the unsaturated optimum √(14·β·n/α) ≈ 13.5, and
+        // the saturation term tips the argmin to the lower neighbour.
+        assert_eq!(AllreduceAlgorithm::ring_segments(&m, 8, 64 << 10), 13);
+        // Huge states hit the 64-segment cap.
+        assert_eq!(AllreduceAlgorithm::ring_segments(&m, 64, 64 << 20), 64);
+        assert_eq!(
+            AllreduceAlgorithm::ring_segments(&CostModel::free(), 8, 1 << 20),
+            1
+        );
+    }
+
+    #[test]
+    fn bcast_selector_keeps_binomial_for_small_states() {
+        let m = CostModel::cluster_2006();
+        // Small states: the segment chooser returns S = 1, the two
+        // estimates coincide, and the tie must go to the whole-state
+        // binomial so existing runs stay bit-for-bit identical.
+        for p in 2..=64usize {
+            assert_eq!(
+                BcastAlgorithm::select(&m, p, 8, true),
+                BcastAlgorithm::Binomial,
+                "p={p}"
+            );
+            assert_eq!(
+                BcastAlgorithm::select(&m, p, 8, false),
+                BcastAlgorithm::Binomial,
+                "p={p} unsplittable"
+            );
+        }
+    }
+
+    #[test]
+    fn bcast_selector_pipelines_large_splittable_states() {
+        let m = CostModel::cluster_2006();
+        assert_eq!(
+            BcastAlgorithm::select(&m, 8, 64 << 10, true),
+            BcastAlgorithm::Pipelined
+        );
+        assert_eq!(
+            BcastAlgorithm::select(&m, 8, 256 << 10, true),
+            BcastAlgorithm::Pipelined
+        );
+        // Unsplittable states never route to the pipelined tree.
+        assert_eq!(
+            BcastAlgorithm::select(&m, 8, 1 << 20, false),
+            BcastAlgorithm::Binomial
+        );
+    }
+
+    #[test]
+    fn tree_segments_are_deterministic_and_clamped() {
+        let m = CostModel::cluster_2006();
+        assert_eq!(BcastAlgorithm::tree_segments(&m, 1, 1 << 20), 1);
+        assert_eq!(BcastAlgorithm::tree_segments(&m, 8, 8), 1);
+        // 64 KiB: √(2·β·n/α) ≈ 5.1 → 5 segments, at *every* rank count
+        // (the tree depth cancels out of the optimum).
+        assert_eq!(BcastAlgorithm::tree_segments(&m, 8, 64 << 10), 5);
+        assert_eq!(BcastAlgorithm::tree_segments(&m, 16, 64 << 10), 5);
+        assert_eq!(BcastAlgorithm::tree_segments(&m, 64, 64 << 20), 64);
+        assert_eq!(
+            BcastAlgorithm::tree_segments(&CostModel::free(), 8, 1 << 20),
+            1
+        );
+    }
+
+    #[test]
+    fn reduce_selector_mirrors_bcast_selection() {
+        let m = CostModel::cluster_2006();
+        for p in [2usize, 5, 8, 16] {
+            for bytes in [8usize, 4 << 10, 64 << 10, 1 << 20] {
+                for splittable in [false, true] {
+                    let b = BcastAlgorithm::select(&m, p, bytes, splittable);
+                    let r = ReduceAlgorithm::select(&m, p, bytes, splittable);
+                    let expected = match b {
+                        BcastAlgorithm::Binomial => ReduceAlgorithm::Binomial,
+                        BcastAlgorithm::Pipelined => ReduceAlgorithm::Pipelined,
+                    };
+                    assert_eq!(r, expected, "p={p} bytes={bytes} splittable={splittable}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_bcast_and_reduce_are_free() {
+        let m = CostModel::cluster_2006();
+        for algo in BcastAlgorithm::ALL {
+            assert_eq!(algo.estimated_seconds(&m, 1, 1 << 20), 0.0);
+        }
+        for algo in ReduceAlgorithm::ALL {
+            assert_eq!(algo.estimated_seconds(&m, 1, 1 << 20), 0.0);
         }
     }
 }

@@ -40,7 +40,10 @@ pub mod stats;
 pub mod watchdog;
 
 pub use comm::{Comm, DEFAULT_EAGER_THRESHOLD};
-pub use cost::{max_segment_bytes, AllreduceAlgorithm, CostModel, ScanAlgorithm};
+pub use cost::{
+    max_segment_bytes, pipeline_segments, AllreduceAlgorithm, BcastAlgorithm, CostModel,
+    ReduceAlgorithm, ScanAlgorithm,
+};
 pub use fault::{FaultOp, FaultPlan, FaultSummary, InjectedKill};
 pub use measured::{Calibration, CalibrationSnapshot, ClassSnapshot, CostSource, PairClass};
 pub use mailbox::{ShutdownError, ShutdownKind, Source};

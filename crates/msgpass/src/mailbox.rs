@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gv_executor::channel::{Receiver, RecvTimeoutError, Sender};
@@ -168,11 +168,80 @@ impl fmt::Display for ShutdownError {
 
 impl std::error::Error for ShutdownError {}
 
+/// How many recycled queued-path envelope boxes one lane's freelist may
+/// hold. A lane's ring admits [`LANE_CAPACITY`] messages, but in steady
+/// state only a handful of queued envelopes are in flight per lane at
+/// once; a small cap bounds idle memory while still absorbing the
+/// common burst.
+const PACKET_POOL_CAP: usize = 8;
+
+/// Per-lane freelist of queued-path envelope boxes, shared between the
+/// lane's [`PeerSender`] (which pops a recycled box per queued send) and
+/// its receive-side `LaneState` (which returns the emptied box after
+/// extracting the envelope). In steady state a queued send allocates no
+/// envelope box at all — the observable invariant
+/// `pool_hits + pool_misses == queued_sends` with misses O(1) per lane.
+///
+/// Payload boxes are *not* pooled: the payload moves end-to-end untouched
+/// (it is the value the application sent), so there is nothing to
+/// recycle. The pool covers exactly the allocation the queued protocol
+/// adds on top.
+pub(crate) struct PacketPool {
+    /// Recycled empty boxes; `None` slots only, by construction. The
+    /// boxes themselves are the pooled resource (the lane ring stores
+    /// `Box<Option<Packet>>` pointers), so the double indirection is
+    /// the point, not an accident.
+    #[allow(clippy::vec_box)]
+    slots: Mutex<Vec<Box<Option<Packet>>>>,
+    /// Maximum retained boxes (0 disables pooling: every acquire is a
+    /// miss, every release drops the box).
+    cap: usize,
+}
+
+impl PacketPool {
+    pub(crate) fn new(cap: usize) -> Self {
+        PacketPool {
+            slots: Mutex::new(Vec::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    /// Wraps `packet` in a recycled box (pool hit) or a fresh allocation
+    /// (pool miss).
+    fn acquire(&self, packet: Packet, stats: &Stats) -> Box<Option<Packet>> {
+        let recycled = self.slots.lock().expect("packet pool poisoned").pop();
+        match recycled {
+            Some(mut slot) => {
+                stats.transport.record_pool_hit();
+                *slot = Some(packet);
+                slot
+            }
+            None => {
+                stats.transport.record_pool_miss();
+                Box::new(Some(packet))
+            }
+        }
+    }
+
+    /// Returns an emptied box to the freelist (dropped when full).
+    fn release(&self, slot: Box<Option<Packet>>) {
+        debug_assert!(slot.is_none(), "released box still holds a packet");
+        let mut slots = self.slots.lock().expect("packet pool poisoned");
+        if slots.len() < self.cap {
+            slots.push(slot);
+        }
+    }
+}
+
 /// The sending endpoint for one destination rank, matching the transport
 /// its mailbox was built with.
 pub(crate) enum PeerSender {
-    /// A dedicated source→destination lane (this rank is the source).
-    Lane(LaneSender<LaneMsg>),
+    /// A dedicated source→destination lane (this rank is the source);
+    /// the pool is shared with the lane's receive side.
+    Lane {
+        tx: LaneSender<LaneMsg>,
+        pool: Arc<PacketPool>,
+    },
     /// A clone of the destination's shared MPSC channel sender.
     Shared(Sender<Packet>),
 }
@@ -184,13 +253,13 @@ impl PeerSender {
     /// runtime's abort machinery handles the peer's disappearance.
     pub(crate) fn send(&self, packet: Packet, eager_threshold: usize, stats: &Stats) {
         match self {
-            PeerSender::Lane(tx) => {
+            PeerSender::Lane { tx, pool } => {
                 let deposit = if packet.bytes <= eager_threshold {
                     stats.transport.record_eager_send();
                     tx.send(LaneMsg::Eager(packet))
                 } else {
                     stats.transport.record_queued_send();
-                    tx.send(LaneMsg::Queued(Box::new(packet)))
+                    tx.send(LaneMsg::Queued(pool.acquire(packet, stats)))
                 };
                 if let Ok(LaneDeposit::Overflow) = deposit {
                     stats.transport.record_overflow_send();
@@ -210,6 +279,9 @@ type StashQueue = VecDeque<(u64, Packet)>;
 /// One source rank's lane on the receive side.
 struct LaneState {
     rx: LaneReceiver<LaneMsg>,
+    /// The sender-shared freelist: emptied queued-path envelope boxes go
+    /// back here for the source to reuse.
+    pool: Arc<PacketPool>,
     /// Mismatched arrivals from this source, keyed by `(comm, tag)` (the
     /// source is the lane itself). FIFO per key preserves non-overtaking.
     stash: HashMap<(u64, Tag), StashQueue>,
@@ -220,12 +292,26 @@ struct LaneState {
 }
 
 impl LaneState {
-    fn new(rx: LaneReceiver<LaneMsg>) -> Self {
+    fn new(rx: LaneReceiver<LaneMsg>, pool: Arc<PacketPool>) -> Self {
         LaneState {
             rx,
+            pool,
             stash: HashMap::new(),
             stash_len: 0,
             next_seq: 0,
+        }
+    }
+
+    /// Unwraps a lane message to its envelope, recycling a queued-path
+    /// box into the sender-shared freelist.
+    fn open(&self, msg: LaneMsg) -> Packet {
+        match msg {
+            LaneMsg::Eager(packet) => packet,
+            LaneMsg::Queued(mut slot) => {
+                let packet = slot.take().expect("queued slot empty in flight");
+                self.pool.release(slot);
+                packet
+            }
         }
     }
 
@@ -319,7 +405,7 @@ impl LaneMailbox {
         for &w in lanes {
             let lane = &mut self.lanes[w];
             while let Some(msg) = lane.rx.try_recv() {
-                let packet = msg.into_packet();
+                let packet = lane.open(msg);
                 if packet.comm_id == comm_id
                     && packet.tag == tag
                     && !(self.held_stashed > 0 && lane.stash.contains_key(&(comm_id, tag)))
@@ -883,11 +969,15 @@ impl Mailbox {
 /// Builds the per-peer-lane transport for `p` ranks: `p` mailboxes of
 /// `p` lanes each, the sender matrix grouped by **source** rank
 /// (`senders[s][d]` sends s→d), and each rank's parker (the runtime
-/// unparks them all when raising the abort flag).
+/// unparks them all when raising the abort flag). `pooling` enables the
+/// per-lane queued-path envelope freelist (capacity 0 when off, so
+/// every queued send allocates and every emptied box drops).
 pub(crate) fn build_lane_transport(
     p: usize,
+    pooling: bool,
 ) -> (Vec<Mailbox>, Vec<Vec<PeerSender>>, Vec<Arc<Parker>>) {
     let spin_limit = gv_executor::lane::suggested_spin_limit();
+    let pool_cap = if pooling { PACKET_POOL_CAP } else { 0 };
     let mut tx_rows: Vec<Vec<PeerSender>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
     let mut mailboxes = Vec::with_capacity(p);
     let mut parkers = Vec::with_capacity(p);
@@ -896,8 +986,9 @@ pub(crate) fn build_lane_transport(
         let mut lanes = Vec::with_capacity(p);
         for row in tx_rows.iter_mut() {
             let (tx, rx) = lane::<LaneMsg>(LANE_CAPACITY, Arc::clone(&parker));
-            lanes.push(LaneState::new(rx));
-            row.push(PeerSender::Lane(tx));
+            let pool = Arc::new(PacketPool::new(pool_cap));
+            lanes.push(LaneState::new(rx, Arc::clone(&pool)));
+            row.push(PeerSender::Lane { tx, pool });
         }
         mailboxes.push(Mailbox::Lanes(LaneMailbox {
             lanes,
@@ -965,7 +1056,7 @@ mod tests {
 
     impl Harness {
         fn lanes(p: usize) -> Self {
-            let (mailboxes, senders, _parkers) = build_lane_transport(p);
+            let (mailboxes, senders, _parkers) = build_lane_transport(p, true);
             let aborted = Arc::new(AtomicBool::new(false));
             Harness {
                 mailboxes,
@@ -992,6 +1083,12 @@ mod tests {
 
         fn send(&self, s: usize, d: usize, comm: u64, tag: Tag, value: i32) {
             self.senders[s][d].send(packet(comm, s, tag, value), usize::MAX, &self.stats);
+        }
+
+        /// Sends with a zero eager threshold, forcing the queued (boxed)
+        /// protocol on the lane transport.
+        fn send_queued(&self, s: usize, d: usize, comm: u64, tag: Tag, value: i32) {
+            self.senders[s][d].send(packet(comm, s, tag, value), 0, &self.stats);
         }
 
         fn send_held(&self, s: usize, d: usize, comm: u64, tag: Tag, value: i32, hold: Duration) {
@@ -1137,7 +1234,7 @@ mod tests {
     fn parked_receiver_sees_peer_exit_as_disconnect() {
         // Satellite: peer exit while the receiver is parked in the
         // spin-then-park slow path.
-        let (mut mailboxes, mut senders, _parkers) = build_lane_transport(2);
+        let (mut mailboxes, mut senders, _parkers) = build_lane_transport(2, true);
         let stats = Stats::new();
         let monitor = RankMonitor::detached(Arc::new(AtomicBool::new(false)));
         let peer = senders.remove(1); // rank 1's endpoints
@@ -1157,7 +1254,7 @@ mod tests {
     fn parked_receiver_sees_abort_flag() {
         // Satellite: peer panic → abort flag raised while the receiver is
         // parked; the runtime also unparks, here simulated explicitly.
-        let (mut mailboxes, senders, parkers) = build_lane_transport(2);
+        let (mut mailboxes, senders, parkers) = build_lane_transport(2, true);
         let stats = Stats::new();
         let aborted = Arc::new(AtomicBool::new(false));
         let monitor = RankMonitor::detached(Arc::clone(&aborted));
@@ -1258,5 +1355,73 @@ mod tests {
             h.send(1, 0, 0, 9, 3);
             assert_eq!(h.recv(0, 0, Source::Rank(1), 9), Ok(3));
         }
+    }
+
+    #[test]
+    fn queued_path_reuses_pooled_boxes_in_steady_state() {
+        // Alternating send/recv on one lane: the first queued send
+        // allocates (pool empty), every later one reuses the box the
+        // receive returned — O(1) misses regardless of round count.
+        let mut h = Harness::lanes(2);
+        let rounds = 20;
+        for v in 0..rounds {
+            h.send_queued(1, 0, 0, 7, v);
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+        }
+        let t = h.stats.snapshot().transport;
+        assert_eq!(t.queued_sends, rounds as u64);
+        assert_eq!(t.pool_misses, 1, "steady state must not keep allocating");
+        assert_eq!(t.pool_hits, rounds as u64 - 1);
+        assert_eq!(t.pool_hits + t.pool_misses, t.queued_sends);
+    }
+
+    #[test]
+    fn pool_recycles_through_the_stash_path() {
+        // A mismatched queued arrival is stashed, but its envelope box is
+        // recycled at drain time — stashing stores the bare packet.
+        let mut h = Harness::lanes(2);
+        h.send_queued(1, 0, 0, 7, 1);
+        h.send_queued(1, 0, 0, 8, 2);
+        assert_eq!(h.recv(0, 0, Source::Rank(1), 8), Ok(2)); // drains + stashes tag 7
+        assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(1));
+        h.send_queued(1, 0, 0, 7, 3); // both boxes back: a hit
+        assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(3));
+        let t = h.stats.snapshot().transport;
+        assert_eq!(t.pool_misses, 2);
+        assert_eq!(t.pool_hits, 1);
+    }
+
+    #[test]
+    fn disabled_pool_allocates_every_queued_send() {
+        let (mailboxes, senders, _parkers) = build_lane_transport(2, false);
+        let aborted = Arc::new(AtomicBool::new(false));
+        let mut h = Harness {
+            mailboxes,
+            senders,
+            stats: Stats::new(),
+            monitor: RankMonitor::detached(Arc::clone(&aborted)),
+            aborted,
+            members: vec![0, 1],
+        };
+        for v in 0..5 {
+            h.send_queued(1, 0, 0, 7, v);
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+        }
+        let t = h.stats.snapshot().transport;
+        assert_eq!(t.pool_misses, 5);
+        assert_eq!(t.pool_hits, 0);
+        assert_eq!(t.pool_hits + t.pool_misses, t.queued_sends);
+    }
+
+    #[test]
+    fn eager_sends_never_touch_the_pool() {
+        let mut h = Harness::lanes(2);
+        for v in 0..5 {
+            h.send(1, 0, 0, 7, v); // threshold usize::MAX → eager
+            assert_eq!(h.recv(0, 0, Source::Rank(1), 7), Ok(v));
+        }
+        let t = h.stats.snapshot().transport;
+        assert_eq!(t.pool_hits + t.pool_misses, 0);
+        assert_eq!(t.eager_sends, 5);
     }
 }

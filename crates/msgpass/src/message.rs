@@ -61,19 +61,15 @@ impl std::fmt::Debug for Packet {
 /// the ring regardless of envelope traffic, mirroring MPI's eager vs
 /// rendezvous split (here both complete immediately — the split is about
 /// what the ring has to copy, not about handshaking).
+///
+/// The queued box is an `Option` slot so the receiver can take the
+/// envelope out and hand the emptied box back to the lane's freelist
+/// (see `mailbox::PacketPool`): in steady state a queued send reuses a
+/// recycled box instead of allocating a fresh one.
 pub(crate) enum LaneMsg {
     /// Envelope stored inline in the ring slot.
     Eager(Packet),
-    /// Envelope boxed; the ring carries the pointer.
-    Queued(Box<Packet>),
-}
-
-impl LaneMsg {
-    /// Unwraps to the envelope, whichever protocol carried it.
-    pub(crate) fn into_packet(self) -> Packet {
-        match self {
-            LaneMsg::Eager(p) => p,
-            LaneMsg::Queued(p) => *p,
-        }
-    }
+    /// Envelope boxed (always `Some` in flight); the ring carries the
+    /// pointer, and the emptied box returns to the sender's pool.
+    Queued(Box<Option<Packet>>),
 }

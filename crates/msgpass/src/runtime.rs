@@ -71,6 +71,7 @@ pub struct Runtime {
     cost: CostModel,
     transport: Transport,
     eager_threshold: usize,
+    packet_pooling: bool,
     cost_source: Option<CostSource>,
     park_timeout: Duration,
     watchdog: Option<Duration>,
@@ -208,6 +209,7 @@ impl Runtime {
             cost: CostModel::default(),
             transport: Transport::default(),
             eager_threshold: DEFAULT_EAGER_THRESHOLD,
+            packet_pooling: true,
             cost_source: None,
             park_timeout: DEFAULT_PARK_TIMEOUT,
             watchdog,
@@ -232,6 +234,19 @@ impl Runtime {
     /// bytes (see [`Comm::set_eager_threshold`]).
     pub fn eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = bytes;
+        self
+    }
+
+    /// Enables or disables the per-lane queued-path envelope freelist
+    /// (default **on**). Pooling is a pure allocation optimization on the
+    /// lane transport's queued protocol: message order, matching, and
+    /// every modeled figure are identical either way — only the
+    /// `pool_hits`/`pool_misses` observability counters (and the host's
+    /// allocator traffic) change. Turning it off makes every queued send
+    /// allocate a fresh envelope box, the pre-pool behavior, which is
+    /// what `pipeline_microbench` compares against.
+    pub fn packet_pooling(mut self, enabled: bool) -> Self {
+        self.packet_pooling = enabled;
         self
     }
 
@@ -337,7 +352,7 @@ impl Runtime {
     {
         let p = self.ranks;
         let (mailboxes, senders, parkers) = match self.transport {
-            Transport::PerPeerLanes => build_lane_transport(p),
+            Transport::PerPeerLanes => build_lane_transport(p, self.packet_pooling),
             Transport::SharedMailbox => {
                 let (mailboxes, senders) = build_shared_transport(p);
                 (mailboxes, senders, Vec::new())

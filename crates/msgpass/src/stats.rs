@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::cost::{AllreduceAlgorithm, ScanAlgorithm};
+use crate::cost::{AllreduceAlgorithm, BcastAlgorithm, ScanAlgorithm};
 
 /// Kinds of communication operations the runtime counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +93,7 @@ impl CallKind {
 const KINDS: usize = CallKind::ALL.len();
 const ALGOS: usize = AllreduceAlgorithm::ALL.len();
 const SCAN_ALGOS: usize = ScanAlgorithm::ALL.len();
+const BCAST_ALGOS: usize = BcastAlgorithm::ALL.len();
 
 /// Lock-free counters shared by every rank of a runtime.
 #[derive(Debug, Default)]
@@ -100,6 +101,7 @@ pub struct Stats {
     calls: [AtomicU64; KINDS],
     allreduce_algorithms: [AtomicU64; ALGOS],
     scan_algorithms: [AtomicU64; SCAN_ALGOS],
+    bcast_algorithms: [AtomicU64; BCAST_ALGOS],
     messages: AtomicU64,
     bytes: AtomicU64,
     /// Collective schedule runs started (blocking drives and `i*`
@@ -131,6 +133,8 @@ pub(crate) struct TransportStats {
     restashes: AtomicU64,
     parks: AtomicU64,
     embargo_defers: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl TransportStats {
@@ -166,6 +170,14 @@ impl TransportStats {
         self.embargo_defers.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
             eager_sends: self.eager_sends.load(Ordering::Relaxed),
@@ -176,6 +188,8 @@ impl TransportStats {
             restashes: self.restashes.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             embargo_defers: self.embargo_defers.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +250,16 @@ pub struct TransportSnapshot {
     /// Chaos-embargoed arrivals a receiver refused to match (stashed until
     /// their injected hold expired). Always zero without a fault plan.
     pub embargo_defers: u64,
+    /// Queued-path sends whose envelope box was recycled from the lane's
+    /// freelist pool (no allocation). Timing-dependent — the receiver
+    /// must have drained and returned a box for the sender to reuse it —
+    /// so, like every transport counter, excluded from determinism pins.
+    pub pool_hits: u64,
+    /// Queued-path sends that allocated a fresh envelope box (the pool
+    /// was empty or disabled). `pool_hits + pool_misses == queued_sends`
+    /// on the lane transport; in steady state misses stop growing — the
+    /// pooled path allocates O(1) boxes per round.
+    pub pool_misses: u64,
 }
 
 impl TransportSnapshot {
@@ -261,6 +285,8 @@ impl TransportSnapshot {
             restashes: self.restashes.saturating_sub(earlier.restashes),
             parks: self.parks.saturating_sub(earlier.parks),
             embargo_defers: self.embargo_defers.saturating_sub(earlier.embargo_defers),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
         }
     }
 }
@@ -288,6 +314,12 @@ impl Stats {
     /// [`CallKind::Exscan`] record).
     pub fn record_scan_algorithm(&self, algo: ScanAlgorithm) {
         self.scan_algorithms[algo as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records which schedule one broadcast call used (once per rank per
+    /// call, alongside its [`CallKind::Bcast`] record).
+    pub fn record_bcast_algorithm(&self, algo: BcastAlgorithm) {
+        self.bcast_algorithms[algo as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one wire message of `bytes` bytes.
@@ -321,10 +353,15 @@ impl Stats {
         for (slot, counter) in scan_algorithms.iter_mut().zip(&self.scan_algorithms) {
             *slot = counter.load(Ordering::Relaxed);
         }
+        let mut bcast_algorithms = [0u64; BCAST_ALGOS];
+        for (slot, counter) in bcast_algorithms.iter_mut().zip(&self.bcast_algorithms) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             calls,
             allreduce_algorithms,
             scan_algorithms,
+            bcast_algorithms,
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             requests_started: self.requests_started.load(Ordering::Relaxed),
@@ -347,6 +384,7 @@ pub struct StatsSnapshot {
     calls: [u64; KINDS],
     allreduce_algorithms: [u64; ALGOS],
     scan_algorithms: [u64; SCAN_ALGOS],
+    bcast_algorithms: [u64; BCAST_ALGOS],
     /// Total wire messages.
     pub messages: u64,
     /// Total wire bytes.
@@ -378,6 +416,11 @@ impl StatsSnapshot {
     /// both-at-once) that used `algo`.
     pub fn scan_algorithm_calls(&self, algo: ScanAlgorithm) -> u64 {
         self.scan_algorithms[algo as usize]
+    }
+
+    /// Number of broadcast calls that used `algo`.
+    pub fn bcast_algorithm_calls(&self, algo: BcastAlgorithm) -> u64 {
+        self.bcast_algorithms[algo as usize]
     }
 
     /// Total calls across all kinds.
@@ -422,10 +465,18 @@ impl StatsSnapshot {
         {
             *slot = now.saturating_sub(*then);
         }
+        let mut bcast_algorithms = [0u64; BCAST_ALGOS];
+        for (slot, (now, then)) in bcast_algorithms
+            .iter_mut()
+            .zip(self.bcast_algorithms.iter().zip(&earlier.bcast_algorithms))
+        {
+            *slot = now.saturating_sub(*then);
+        }
         StatsSnapshot {
             calls,
             allreduce_algorithms,
             scan_algorithms,
+            bcast_algorithms,
             messages: self.messages.saturating_sub(earlier.messages),
             bytes: self.bytes.saturating_sub(earlier.bytes),
             requests_started: self.requests_started.saturating_sub(earlier.requests_started),
@@ -524,6 +575,39 @@ mod tests {
         let delta = snap.since(&before);
         assert_eq!(delta.scan_algorithm_calls(ScanAlgorithm::PipelinedChain), 1);
         assert_eq!(delta.scan_algorithm_calls(ScanAlgorithm::Binomial), 0);
+    }
+
+    #[test]
+    fn bcast_algorithm_counters_track_separately() {
+        let stats = Stats::new();
+        stats.record_bcast_algorithm(BcastAlgorithm::Binomial);
+        stats.record_bcast_algorithm(BcastAlgorithm::Binomial);
+        let before = stats.snapshot();
+        stats.record_bcast_algorithm(BcastAlgorithm::Pipelined);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bcast_algorithm_calls(BcastAlgorithm::Binomial), 2);
+        assert_eq!(snap.bcast_algorithm_calls(BcastAlgorithm::Pipelined), 1);
+        let delta = snap.since(&before);
+        assert_eq!(delta.bcast_algorithm_calls(BcastAlgorithm::Pipelined), 1);
+        assert_eq!(delta.bcast_algorithm_calls(BcastAlgorithm::Binomial), 0);
+    }
+
+    #[test]
+    fn pool_counters_snapshot_and_subtract() {
+        let stats = Stats::new();
+        stats.transport.record_pool_miss();
+        stats.transport.record_pool_miss();
+        let before = stats.snapshot();
+        stats.transport.record_pool_hit();
+        stats.transport.record_pool_hit();
+        stats.transport.record_pool_hit();
+        stats.transport.record_pool_miss();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.transport.pool_hits, 3);
+        assert_eq!(delta.transport.pool_misses, 1);
+        let full = stats.snapshot().transport;
+        assert_eq!(full.pool_hits, 3);
+        assert_eq!(full.pool_misses, 3);
     }
 
     #[test]

@@ -29,7 +29,7 @@ for bin in fig2_is_verify fig3_mg_zran3 mpi_call_stats \
            ablation_scan_algorithm ablation_allreduce_algorithm \
            ablation_selector_tuning \
            transport_microbench k_independent_allreduces \
-           kernel_microbench; do
+           kernel_microbench pipeline_microbench nas_cg; do
     echo "smoke: $bin"
     ./target/release/"$bin" > /dev/null
 done
@@ -38,3 +38,9 @@ done
 # argument parsing and the CSV path stay alive.
 echo "smoke: ablation_scan_algorithm --csv --procs 2,4 --sizes 8,4096"
 ./target/release/ablation_scan_algorithm --csv --procs 2,4 --sizes 8,4096 > /dev/null
+
+# The pipeline microbench embeds the selector-within-5% and ≥2× speedup
+# acceptance asserts; run its pool-counter path too so the freelist
+# plumbing stays alive (counters go to stderr, not the recorded table).
+echo "smoke: pipeline_microbench --pool"
+./target/release/pipeline_microbench --pool > /dev/null 2> /dev/null

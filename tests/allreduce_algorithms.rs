@@ -207,11 +207,29 @@ fn selector_only_picks_eligible_schedules() {
                              splittable={splittable} p={p} bytes={bytes}"
                         ));
                     }
+                    if matches!(
+                        picked,
+                        AllreduceAlgorithm::PipelinedRing | AllreduceAlgorithm::PipelinedTree
+                    ) && !splittable
+                    {
+                        return Err(format!(
+                            "pipelined schedule selected for non-splittable \
+                             state p={p} bytes={bytes}"
+                        ));
+                    }
                     // The pick is never strictly worse than any other
                     // eligible schedule.
                     for other in AllreduceAlgorithm::ALL {
                         if other == AllreduceAlgorithm::ReduceScatterAllgather
                             && !(commutative && splittable)
+                        {
+                            continue;
+                        }
+                        if matches!(
+                            other,
+                            AllreduceAlgorithm::PipelinedRing
+                                | AllreduceAlgorithm::PipelinedTree
+                        ) && !splittable
                         {
                             continue;
                         }
