@@ -11,14 +11,13 @@
 //! covers the adjacent block — so ordering the combine by block position
 //! (`lower rank first`) preserves set order for any associative operator.
 
+use super::TAG_ALLREDUCE_RD as TAG_RD;
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgorithm;
 use crate::mailbox::ShutdownError;
-use crate::message::{Tag, RESERVED_TAG_BASE};
+use crate::message::Tag;
 use crate::request::{Request, Schedule};
 use crate::stats::CallKind;
-
-const TAG_RD: Tag = RESERVED_TAG_BASE + 0x800;
 
 enum RdPhase {
     /// Folded-away even rank: fold send issued, waiting for the unfold.

@@ -49,12 +49,15 @@ pub(crate) const TAG_BCAST: Tag = RESERVED_TAG_BASE + 0x100;
 pub(crate) const TAG_BCAST_PIPE: Tag = RESERVED_TAG_BASE + 0x180;
 pub(crate) const TAG_REDUCE_PIPE: Tag = RESERVED_TAG_BASE + 0x380;
 pub(crate) const TAG_ALLREDUCE_RING: Tag = RESERVED_TAG_BASE + 0x880;
-pub(crate) const TAG_ALLREDUCE_TREE_UP: Tag = RESERVED_TAG_BASE + 0x600;
-pub(crate) const TAG_ALLREDUCE_TREE_DOWN: Tag = RESERVED_TAG_BASE + 0x700;
+pub(crate) const TAG_ALLREDUCE_TREE_UP: Tag = RESERVED_TAG_BASE + 0x680;
+pub(crate) const TAG_ALLREDUCE_TREE_DOWN: Tag = RESERVED_TAG_BASE + 0x780;
 pub(crate) const TAG_GATHER: Tag = RESERVED_TAG_BASE + 0x200;
 pub(crate) const TAG_REDUCE: Tag = RESERVED_TAG_BASE + 0x300;
 pub(crate) const TAG_SCAN: Tag = RESERVED_TAG_BASE + 0x400;
 pub(crate) const TAG_ALLTOALL: Tag = RESERVED_TAG_BASE + 0x500;
+pub(crate) const TAG_SHIFT: Tag = RESERVED_TAG_BASE + 0x600;
+pub(crate) const TAG_SCATTER: Tag = RESERVED_TAG_BASE + 0x700;
+pub(crate) const TAG_ALLREDUCE_RD: Tag = RESERVED_TAG_BASE + 0x800;
 pub(crate) const TAG_REDUCE_SCATTER: Tag = RESERVED_TAG_BASE + 0x900;
 pub(crate) const TAG_ALLGATHER_RING: Tag = RESERVED_TAG_BASE + 0xA00;
 pub(crate) const TAG_SCAN_UP: Tag = RESERVED_TAG_BASE + 0xB00;
@@ -84,7 +87,9 @@ pub(crate) fn describe_tag(tag: Tag) -> &'static str {
         0x400 => "scan",
         0x500 => "alltoall",
         0x600 => "shift",
+        0x680 => "allreduce (pipelined tree up)",
         0x700 => "scatter",
+        0x780 => "allreduce (pipelined tree down)",
         0x800 => "allreduce (recursive doubling)",
         0x880 => "allreduce (pipelined ring)",
         0x900 => "reduce-scatter",
@@ -96,5 +101,72 @@ pub(crate) fn describe_tag(tag: Tag) -> &'static str {
         0xF00 => "reduce-scatter (circulant)",
         0xF80 => "allgather (circulant)",
         _ => "collective",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every reserved tag base the collectives use, in one place. A new
+    /// schedule's base must be added here so the pins below cover it.
+    const ALL_BASES: [Tag; 22] = [
+        TAG_BARRIER,
+        TAG_BCAST,
+        TAG_BCAST_PIPE,
+        TAG_GATHER,
+        TAG_REDUCE,
+        TAG_REDUCE_PIPE,
+        TAG_SCAN,
+        TAG_ALLTOALL,
+        TAG_SHIFT,
+        TAG_ALLREDUCE_TREE_UP,
+        TAG_SCATTER,
+        TAG_ALLREDUCE_TREE_DOWN,
+        TAG_ALLREDUCE_RD,
+        TAG_ALLREDUCE_RING,
+        TAG_REDUCE_SCATTER,
+        TAG_ALLGATHER_RING,
+        TAG_SCAN_UP,
+        TAG_SCAN_DOWN,
+        TAG_SCAN_CHAIN,
+        TAG_CALIBRATE,
+        TAG_REDUCE_SCATTER_CIRC,
+        TAG_ALLGATHER_CIRC,
+    ];
+
+    /// The salt occupies bits 12–23, so collision-freedom between
+    /// concurrent collectives requires every base offset to sit below
+    /// 0x1000 and be pairwise distinct there (`comm.rs`,
+    /// `next_collective_salt`). A shared 0x?00 block is fine only when
+    /// the low bits differ — the invariant a schedule overlapped with a
+    /// shift/scatter on the same salt relies on.
+    #[test]
+    fn reserved_bases_distinct_below_salt() {
+        let mut offsets: Vec<Tag> = ALL_BASES
+            .iter()
+            .map(|&t| {
+                assert!(t >= RESERVED_TAG_BASE, "base {t:#x} below reserved range");
+                let off = t - RESERVED_TAG_BASE;
+                assert!(off < 0x1000, "base offset {off:#x} overlaps the salt bits");
+                off
+            })
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), ALL_BASES.len(), "reserved tag bases collide");
+    }
+
+    /// Diagnostics must name each schedule distinctly; a fallthrough to
+    /// the generic "collective" arm means a describe_tag entry is missing.
+    #[test]
+    fn describe_tag_names_every_base() {
+        for &base in &ALL_BASES {
+            let salted = base + (7 << 12);
+            let name = describe_tag(salted);
+            assert_ne!(name, "collective", "no describe_tag arm for {base:#x}");
+            assert_ne!(name, "p2p");
+            assert_eq!(name, describe_tag(base), "salt must not change the label");
+        }
     }
 }

@@ -1,10 +1,8 @@
 //! Binomial scatter (root distributes one value per rank).
 
+use super::TAG_SCATTER;
 use crate::comm::Comm;
-use crate::message::{Tag, RESERVED_TAG_BASE};
 use crate::stats::CallKind;
-
-const TAG_SCATTER: Tag = RESERVED_TAG_BASE + 0x700;
 
 impl Comm {
     /// Scatters `values[r]` to each rank `r`. The root passes

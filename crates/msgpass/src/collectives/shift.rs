@@ -5,10 +5,8 @@
 //! "the exclusive scan can only be computed from the inclusive scan by
 //! shifting the values across the processors" (§2).
 
+use super::TAG_SHIFT;
 use crate::comm::Comm;
-use crate::message::{Tag, RESERVED_TAG_BASE};
-
-const TAG_SHIFT: Tag = RESERVED_TAG_BASE + 0x600;
 
 impl Comm {
     /// Sends `value` to rank `r + 1` and returns the value received from

@@ -443,7 +443,10 @@ impl BcastAlgorithm {
 pub enum ReduceAlgorithm {
     /// Whole-state binomial tree to the root: `⌈log₂p⌉(α + βn)`.
     Binomial,
-    /// Segment-pipelined binomial tree: `(⌈log₂p⌉+S−1)(α + β·n/S)`.
+    /// Segment-pipelined binomial tree, priced exactly like
+    /// [`BcastAlgorithm::Pipelined`] (the up-tree mirrors the down-tree):
+    /// `⌈log₂p⌉(α + β·n/S) + (S−1)⌈log₂p⌉·α/2` — the first segment's
+    /// ascent plus the pipeline tail from the root's fan-in occupancy.
     /// Requires a splittable state.
     Pipelined,
 }
